@@ -1,0 +1,74 @@
+// Ablation: the paper reports that "the most important attributes are the
+// percentage of VMs classified into each bucket to date in the subscription"
+// (Section 6.1). We retrain the P95 model with (a) all features, (b) the
+// subscription-history block zeroed out, and (c) only the history block, and
+// report held-out accuracy plus the trained model's own gain-based feature
+// importance split.
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/core/evaluation.h"
+
+using namespace rc;
+using namespace rc::core;
+
+namespace {
+
+enum class Variant { kAll, kNoHistory, kHistoryOnly };
+
+bool IsHistoryFeature(const std::string& name) {
+  return name.rfind("hist_", 0) == 0 || name.rfind("mean_", 0) == 0 ||
+         name.rfind("log_", 0) == 0;
+}
+
+std::vector<LabeledExample> Mask(std::vector<LabeledExample> examples, Variant variant) {
+  for (auto& example : examples) {
+    if (variant == Variant::kNoHistory) {
+      SubscriptionFeatures empty;
+      empty.subscription_id = example.history.subscription_id;
+      example.history = empty;
+    } else if (variant == Variant::kHistoryOnly) {
+      ClientInputs blank;
+      blank.subscription_id = example.inputs.subscription_id;
+      example.inputs = blank;
+    }
+  }
+  return examples;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation: per-subscription history features", "Sec. 6.1 finding");
+  trace::Trace t = bench::CharacterizationTrace(60'000);
+  auto train = OfflinePipeline::BuildExamples(t, Metric::kP95Cpu, 0, 60 * kDay, false);
+  auto test = OfflinePipeline::BuildExamples(t, Metric::kP95Cpu, 60 * kDay, 90 * kDay,
+                                             false);
+  Featurizer featurizer(Metric::kP95Cpu, FeatureEncoding::kExpanded);
+
+  TablePrinter table({"variant", "accuracy", "P^0.6", "coverage", "history importance"});
+  for (Variant variant : {Variant::kAll, Variant::kNoHistory, Variant::kHistoryOnly}) {
+    auto masked_train = Mask(train, variant);
+    auto masked_test = Mask(test, variant);
+    rc::ml::Dataset data = OfflinePipeline::ToDataset(masked_train, featurizer);
+    rc::ml::RandomForestConfig config;
+    config.num_trees = 24;
+    config.tree.max_depth = 13;
+    rc::ml::RandomForest model = rc::ml::RandomForest::Fit(data, config);
+    MetricQuality q = EvaluateModel(model, featurizer, masked_test, 0.6);
+
+    auto importance = model.FeatureImportance();
+    double history_share = 0.0;
+    for (size_t i = 0; i < importance.size(); ++i) {
+      if (IsHistoryFeature(featurizer.feature_names()[i])) history_share += importance[i];
+    }
+    const char* names[] = {"all features", "no history", "history only"};
+    table.AddRow({names[static_cast<int>(variant)], TablePrinter::Pct(q.accuracy, 1),
+                  TablePrinter::Fmt(q.p_theta, 2), TablePrinter::Pct(q.r_theta, 1),
+                  TablePrinter::Pct(history_share, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected shape: dropping the subscription history costs most of the\n"
+            << "accuracy; history alone recovers nearly all of it (the paper's 'most\n"
+            << "important attributes' claim)\n";
+  return 0;
+}

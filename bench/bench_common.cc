@@ -1,0 +1,56 @@
+#include "bench/bench_common.h"
+
+namespace rc::bench {
+
+rc::trace::WorkloadConfig CharacterizationConfig(int64_t vms, uint64_t seed) {
+  rc::trace::WorkloadConfig config;
+  config.target_vm_count = vms;
+  config.num_subscriptions = std::max<int>(500, static_cast<int>(vms / 25));
+  config.duration = 90 * kDay;
+  config.seed = seed;
+  return config;
+}
+
+rc::trace::Trace CharacterizationTrace(int64_t vms, uint64_t seed) {
+  return rc::trace::WorkloadModel(CharacterizationConfig(vms, seed)).Generate();
+}
+
+rc::trace::WorkloadConfig SchedulerWorkloadConfig(int64_t vms, SimDuration duration,
+                                                  uint64_t seed) {
+  rc::trace::WorkloadConfig config;
+  config.target_vm_count = vms;
+  config.duration = duration;
+  config.num_subscriptions = 4000;
+  config.seed = seed;
+  config.frac_first_party = 1.0;
+  config.first_party_production_prob = 0.71;  // paper: 71% production VMs
+  config.lifetime_cap_days = 15.0;
+  config.lifetime_tail_alpha = 1.0;
+  config.popularity_cap = 0.0015;
+  config.resident_interactive_vm_frac = 0.002;
+  config.deploy_vms_marginal = {0.49, 0.41, 0.10, 0.0};
+  config.arrivals.weibull_shape = 0.9;
+  config.arrivals.night_level = 0.6;
+  config.arrivals.weekend_level = 0.8;
+  return config;
+}
+
+rc::core::PipelineConfig DefaultPipelineConfig(SimTime train_end) {
+  rc::core::PipelineConfig config;
+  config.train_begin = 0;
+  config.train_end = train_end;
+  // Sized for the Table 1 regime: accuracy saturates near here (see
+  // bench/ablation_model_size) while models stay in the hundreds of KB.
+  config.rf.num_trees = 16;
+  config.rf.tree.max_depth = 10;
+  config.rf.tree.min_samples_leaf = 16;
+  config.gbt.num_rounds = 40;
+  return config;
+}
+
+void Banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "(reproduces " << paper_ref << " of Cortez et al., SOSP'17)\n\n";
+}
+
+}  // namespace rc::bench

@@ -1,0 +1,38 @@
+// Shared configuration for the reproduction harness: every bench binary
+// builds its workload from these canonical configurations so results are
+// comparable across figures/tables.
+#ifndef RC_BENCH_BENCH_COMMON_H_
+#define RC_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "src/core/offline_pipeline.h"
+#include "src/trace/trace.h"
+#include "src/trace/workload_model.h"
+
+namespace rc::bench {
+
+// The Section-3 characterization workload: three months, mixed first/third
+// party, calibrated to the paper's published distributions.
+rc::trace::WorkloadConfig CharacterizationConfig(int64_t vms = 60'000, uint64_t seed = 42);
+rc::trace::Trace CharacterizationTrace(int64_t vms = 60'000, uint64_t seed = 42);
+
+// The Section-6.2 scheduler-study workload: first-party only (the paper
+// oversubscribes only first-party clusters), 71% production tags, lighter
+// lifetime tail, no >100-VM deployments (policy-independent blast failures
+// would mask the comparison), slightly flattened arrivals.
+rc::trace::WorkloadConfig SchedulerWorkloadConfig(int64_t vms, SimDuration duration,
+                                                  uint64_t seed = 42);
+
+// Default pipeline configuration used by the quality/latency benches.
+rc::core::PipelineConfig DefaultPipelineConfig(SimTime train_end = 60 * kDay);
+
+// Prints a section banner so `for b in bench/*; do $b; done` output reads
+// as a single report.
+void Banner(const std::string& title, const std::string& paper_ref);
+
+}  // namespace rc::bench
+
+#endif  // RC_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,31 @@
+// Figure 8: Spearman's correlations between the VM metrics (heat map,
+// rendered as a matrix table).
+#include "bench/bench_common.h"
+#include "src/analysis/characterization.h"
+#include "src/common/table_printer.h"
+
+using namespace rc;
+using namespace rc::analysis;
+
+int main() {
+  bench::Banner("Figure 8: Spearman correlations between metrics", "Fig. 8");
+  trace::Trace t = bench::CharacterizationTrace(40'000);
+
+  auto m = MetricCorrelations(t, PartyFilter::kAll);
+  std::vector<std::string> header = {""};
+  header.insert(header.end(), m.names.begin(), m.names.end());
+  TablePrinter table(header);
+  for (size_t i = 0; i < m.names.size(); ++i) {
+    std::vector<std::string> row = {m.names[i]};
+    for (size_t j = 0; j < m.names.size(); ++j) {
+      row.push_back(TablePrinter::Fmt(m.at(i, j), 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\npaper anchors: avg/p95 utilization strongly positive; cores/memory\n"
+            << "strongly positive; utilization slightly negative vs cores & memory;\n"
+            << "class slightly positive vs lifetime (interactive VMs live longer)\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Section 6.1 "Performance": result-cache hit rates when replaying the test
+// month through the client (paper: 18-68 hits per model execution depending
+// on the metric), plus cache-management micro-benchmarks.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/core/client.h"
+
+using namespace rc;
+using namespace rc::core;
+
+namespace {
+
+struct Harness {
+  trace::Trace trace;
+  rc::store::KvStore store;
+  std::vector<ClientInputs> replay;
+
+  Harness() : trace(bench::CharacterizationTrace(30'000)) {
+    OfflinePipeline pipeline(bench::DefaultPipelineConfig());
+    TrainedModels trained = pipeline.Run(trace);
+    OfflinePipeline::Publish(trained, store);
+    static const trace::VmSizeCatalog catalog;
+    for (const auto* vm : trace.VmsCreatedIn(60 * kDay, 90 * kDay)) {
+      replay.push_back(InputsFromVm(*vm, catalog));
+    }
+  }
+};
+
+Harness& SharedHarness() {
+  static Harness* harness = new Harness();
+  return *harness;
+}
+
+void PrintHitRateTable() {
+  bench::Banner("Section 6.1 performance: result-cache effectiveness", "Sec. 6.1");
+  Harness& h = SharedHarness();
+  TablePrinter table({"Model", "requests", "hits", "executions", "hits/execution",
+                      "no-predictions"});
+  for (Metric m : kAllMetrics) {
+    Client client(&h.store, ClientConfig{});
+    client.Initialize();
+    std::string model = MetricModelName(m);
+    for (const auto& inputs : h.replay) client.PredictSingle(model, inputs);
+    auto stats = client.stats();
+    double per_exec = stats.model_executions > 0
+                          ? static_cast<double>(stats.result_hits) /
+                                static_cast<double>(stats.model_executions)
+                          : 0.0;
+    table.AddRow({model, std::to_string(h.replay.size()), std::to_string(stats.result_hits),
+                  std::to_string(stats.model_executions), TablePrinter::Fmt(per_exec, 1),
+                  std::to_string(stats.no_predictions)});
+  }
+  table.Print(std::cout);
+  std::cout << "\npaper anchor: an entry is reused 18-68 times per model execution\n"
+            << "(reuse grows with trace length; a month-long replay is the lower end)\n\n";
+}
+
+void BM_PredictWarm(benchmark::State& state) {
+  Harness& h = SharedHarness();
+  Client client(&h.store, ClientConfig{});
+  client.Initialize();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto p = client.PredictSingle("VM_P95UTIL", h.replay[i++ % h.replay.size()]);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PredictWarm)->Unit(benchmark::kMicrosecond);
+
+void BM_ForceReloadCache(benchmark::State& state) {
+  Harness& h = SharedHarness();
+  Client client(&h.store, ClientConfig{});
+  client.Initialize();
+  for (auto _ : state) {
+    client.ForceReloadCache();
+  }
+}
+BENCHMARK(BM_ForceReloadCache)->Unit(benchmark::kMillisecond);
+
+void BM_ClientInitialize(benchmark::State& state) {
+  Harness& h = SharedHarness();
+  for (auto _ : state) {
+    Client client(&h.store, ClientConfig{});
+    bool ok = client.Initialize();
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_ClientInitialize)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintHitRateTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "bench/sched_common.h"
+
+#include <algorithm>
+
+#include "src/common/rng.h"
+#include "src/common/table_printer.h"
+
+namespace rc::bench {
+
+using rc::core::ClientConfig;
+using rc::core::Featurizer;
+using rc::core::InputsFromVm;
+using rc::core::ModelSpec;
+using rc::core::OfflinePipeline;
+using rc::core::Prediction;
+using rc::sched::PolicyConfig;
+using rc::sched::PolicyKind;
+using rc::sched::SimConfig;
+using rc::sched::SimResult;
+using rc::sched::VmRequest;
+
+SimConfig SchedStudy::DefaultSimConfig() {
+  SimConfig config;
+  config.cluster = rc::sched::ClusterConfig{880, 16, 112.0};  // paper Section 6.2
+  config.horizon = 30 * kDay;
+  return config;
+}
+
+SchedStudy::SchedStudy(int64_t monthly_vms, bool train_client, uint64_t seed)
+    : trace_(rc::trace::WorkloadModel(
+                 SchedulerWorkloadConfig(2 * monthly_vms, 60 * kDay, seed))
+                 .Generate()) {
+  // Month-2 arrivals, rebased so the simulator clock starts at 0.
+  for (VmRequest req : rc::sched::RequestsFromTrace(trace_, 60 * kDay)) {
+    if (req.arrival < 30 * kDay) continue;
+    req.arrival -= 30 * kDay;
+    req.departure -= 30 * kDay;
+    requests_.push_back(req);
+  }
+
+  if (!train_client) return;
+
+  // Train only the P95 model (the one Algorithm 1 consumes), on month 1.
+  std::cout << "[sched] training VM_P95UTIL on month 1 ("
+            << trace_.VmsCreatedIn(0, 30 * kDay).size() << " VMs)...\n";
+  auto examples =
+      OfflinePipeline::BuildExamples(trace_, Metric::kP95Cpu, 0, 30 * kDay, false);
+  // Subsample for training speed; the model quality plateau is well below
+  // this count.
+  constexpr size_t kMaxTrainRows = 100'000;
+  if (examples.size() > kMaxTrainRows) {
+    Rng rng(seed + 1);
+    rng.Shuffle(examples);
+    examples.resize(kMaxTrainRows);
+  }
+  Featurizer featurizer(Metric::kP95Cpu, OfflinePipeline::EncodingFor(Metric::kP95Cpu));
+  rc::ml::Dataset data = OfflinePipeline::ToDataset(examples, featurizer);
+  rc::ml::RandomForestConfig rf;
+  rf.num_trees = 32;
+  rf.tree.max_depth = 13;
+  rf.seed = seed + 2;
+  rc::ml::RandomForest model = rc::ml::RandomForest::Fit(data, rf);
+
+  ModelSpec spec;
+  spec.name = MetricModelName(Metric::kP95Cpu);
+  spec.metric = Metric::kP95Cpu;
+  spec.encoding = OfflinePipeline::EncodingFor(Metric::kP95Cpu);
+  spec.model_family = model.type_name();
+  spec.num_features = static_cast<uint32_t>(featurizer.num_features());
+  spec.version = 1;
+  store_.Put(rc::core::SpecKey(spec.name), spec.Serialize());
+  store_.Put(rc::core::ModelKey(spec.name), model.SerializeTagged());
+  for (const auto& [sub_id, features] :
+       OfflinePipeline::BuildFeatureSnapshot(trace_, 30 * kDay, false)) {
+    store_.Put(rc::core::FeatureKey(sub_id), features.Serialize());
+  }
+  client_ = std::make_unique<rc::core::Client>(&store_, ClientConfig{});
+  client_->Initialize();
+}
+
+std::vector<VmRequest> SchedStudy::ReducedLoad(double keep_fraction) const {
+  std::vector<VmRequest> reduced;
+  Rng rng(777);
+  for (const VmRequest& req : requests_) {
+    if (rng.Bernoulli(keep_fraction)) reduced.push_back(req);
+  }
+  return reduced;
+}
+
+SimResult SchedStudy::RunOnRequests(std::vector<VmRequest> reqs, PolicyKind kind,
+                                    rc::sched::OversubParams oversub,
+                                    const SimConfig& sim_config, int bucket_shift) {
+  rc::sched::Cluster cluster(sim_config.cluster);
+  PolicyConfig policy_config;
+  policy_config.kind = kind;
+  policy_config.oversub = oversub;
+  policy_config.bucket_shift = bucket_shift;
+
+  int64_t asked = 0, served = 0;
+  rc::sched::UtilPredictor predictor;
+  if (kind == PolicyKind::kRcInformedSoft || kind == PolicyKind::kRcInformedHard) {
+    if (client_ != nullptr) {
+      static const rc::trace::VmSizeCatalog catalog;
+      predictor = [&](const VmRequest& vm) {
+        ++asked;
+        Prediction p =
+            client_->PredictSingle("VM_P95UTIL", InputsFromVm(*vm.source, catalog));
+        if (p.valid && p.score >= 0.6) ++served;
+        return p;
+      };
+    } else {
+      // No trained client (sensitivity sweeps): perfect predictions, so the
+      // RC-informed chains can still be exercised (paper: RC-soft-right
+      // behaves like RC-informed-soft).
+      predictor = [](const VmRequest& vm) {
+        return Prediction::Of(
+            UtilizationBucket(vm.source != nullptr ? vm.source->p95_max_cpu : 1.0), 1.0);
+      };
+    }
+  }
+  rc::sched::SchedulingPolicy policy(policy_config, &cluster, std::move(predictor));
+  rc::sched::ClusterSimulator simulator(sim_config);
+  SimResult result = simulator.Run(std::move(reqs), policy);
+  if (asked > 0) {
+    last_served_fraction_ = static_cast<double>(served) / static_cast<double>(asked);
+  }
+  return result;
+}
+
+SimResult SchedStudy::Run(PolicyKind kind, rc::sched::OversubParams oversub,
+                          const SimConfig* override_config, int bucket_shift) {
+  SimConfig sim_config = override_config != nullptr ? *override_config : DefaultSimConfig();
+  return RunOnRequests(requests_, kind, oversub, sim_config, bucket_shift);
+}
+
+std::vector<std::string> SimHeader() {
+  return {"Policy",       "VMs",        "failures", "fail %", "readings>100%",
+          "occupied rdgs", "mean util", "P99 util", "oversub placements"};
+}
+
+void PrintSimRow(rc::TablePrinter& table, const std::string& name,
+                 const SimResult& result) {
+  table.AddRow({name, std::to_string(result.total_vms), std::to_string(result.failures),
+                rc::TablePrinter::Pct(result.failure_rate(), 3),
+                std::to_string(result.overload_readings),
+                std::to_string(result.occupied_readings),
+                rc::TablePrinter::Pct(result.mean_occupied_utilization, 1),
+                rc::TablePrinter::Pct(result.p99_utilization, 1),
+                std::to_string(result.oversub_placements)});
+}
+
+}  // namespace rc::bench

@@ -1,0 +1,65 @@
+// Shared machinery for the Section 6.2 scheduler benches: a two-month
+// first-party trace (month 1 trains the P95 model, month 2 is replayed
+// through the scheduler), the trained RC client, and a one-line runner per
+// policy.
+#ifndef RC_BENCH_SCHED_COMMON_H_
+#define RC_BENCH_SCHED_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/common/table_printer.h"
+#include "src/core/client.h"
+#include "src/sched/simulator.h"
+
+namespace rc::bench {
+
+class SchedStudy {
+ public:
+  // `monthly_vms` arrivals per month; the trace spans two months. When
+  // `train_client` is false the (expensive) model training is skipped and
+  // only oracle policies can run.
+  explicit SchedStudy(int64_t monthly_vms = 368'000, bool train_client = true,
+                      uint64_t seed = 42);
+
+  // Placement requests for the simulated month (times rebased to 0).
+  const std::vector<rc::sched::VmRequest>& requests() const { return requests_; }
+
+  // Runs one policy over the simulated month and returns the results.
+  rc::sched::SimResult Run(rc::sched::PolicyKind kind,
+                           rc::sched::OversubParams oversub = {},
+                           const rc::sched::SimConfig* override_config = nullptr,
+                           int bucket_shift = 0);
+
+  // Fraction of requests answered by the client with a confident
+  // (score >= 0.6) prediction during the last RC-informed run.
+  double last_served_fraction() const { return last_served_fraction_; }
+
+  static rc::sched::SimConfig DefaultSimConfig();
+
+  // Drops a fraction of the requests uniformly (load-reduction sensitivity).
+  std::vector<rc::sched::VmRequest> ReducedLoad(double keep_fraction) const;
+
+  rc::sched::SimResult RunOnRequests(std::vector<rc::sched::VmRequest> reqs,
+                                     rc::sched::PolicyKind kind,
+                                     rc::sched::OversubParams oversub,
+                                     const rc::sched::SimConfig& sim_config,
+                                     int bucket_shift = 0);
+
+ private:
+  rc::trace::Trace trace_;
+  rc::store::KvStore store_;
+  std::unique_ptr<rc::core::Client> client_;
+  std::vector<rc::sched::VmRequest> requests_;
+  double last_served_fraction_ = 0.0;
+};
+
+void PrintSimRow(rc::TablePrinter& table, const std::string& name,
+                 const rc::sched::SimResult& result);
+std::vector<std::string> SimHeader();
+
+}  // namespace rc::bench
+
+#endif  // RC_BENCH_SCHED_COMMON_H_

@@ -1,0 +1,54 @@
+// Section 6.2 "Comparing schedulers": Baseline vs Naive vs RC-informed
+// (soft and hard) vs the oracle (RC-soft-right) and adversary
+// (RC-soft-wrong), on the paper's cluster (880 servers x 16 cores x 112 GB)
+// with one month of first-party arrivals (71% production).
+#include "bench/sched_common.h"
+#include "src/common/table_printer.h"
+
+using namespace rc;
+using namespace rc::bench;
+using rc::sched::PolicyKind;
+
+int main() {
+  Banner("Section 6.2: comparing schedulers (MAX_OVERSUB=125%, MAX_UTIL=100%)",
+         "Sec. 6.2, 'Comparing schedulers'");
+  SchedStudy study(368'000, /*train_client=*/true);
+  std::cout << "[sched] simulating " << study.requests().size()
+            << " VM arrivals over 1 month on 880 x (16-core, 112 GB) servers\n\n";
+
+  TablePrinter table(SimHeader());
+  sched::SimResult rc_soft;
+  for (PolicyKind kind :
+       {PolicyKind::kBaseline, PolicyKind::kNaive, PolicyKind::kRcInformedSoft,
+        PolicyKind::kRcInformedHard, PolicyKind::kRcSoftRight, PolicyKind::kRcSoftWrong}) {
+    sched::SimResult result = study.Run(kind);
+    if (kind == PolicyKind::kRcInformedSoft) {
+      rc_soft = result;
+      std::cout << "[sched] RC-informed confident-prediction coverage: "
+                << TablePrinter::Pct(study.last_served_fraction(), 1) << "\n";
+    }
+    PrintSimRow(table, ToString(kind), result);
+  }
+  table.Print(std::cout);
+
+  // A hotter month (the paper's cluster runs close to its failure point:
+  // Baseline fails ~0.25% of VMs). Oracle predictions stand in for the
+  // trained client here (the paper and the table above show RC-soft-right
+  // and RC-informed-soft behave alike).
+  std::cout << "\n-- hot load (failure regime) --\n";
+  SchedStudy hot(500'000, /*train_client=*/false);
+  std::cout << "[sched] " << hot.requests().size() << " arrivals\n\n";
+  TablePrinter hot_table(SimHeader());
+  for (PolicyKind kind : {PolicyKind::kBaseline, PolicyKind::kNaive,
+                          PolicyKind::kRcInformedSoft, PolicyKind::kRcSoftWrong}) {
+    PrintSimRow(hot_table, ToString(kind), hot.Run(kind));
+  }
+  hot_table.Print(std::cout);
+
+  std::cout
+      << "\npaper anchors: RC-informed-soft -> no failures and only 77 readings >100%\n"
+      << "over the month; RC-informed-hard identical at this load; Naive -> 6x more\n"
+      << "overloads; Baseline -> no overloads but scheduling failures; RC-soft-wrong\n"
+      << "-> ~3x more overloads than accurate predictions\n";
+  return 0;
+}

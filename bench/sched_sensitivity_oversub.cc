@@ -1,0 +1,33 @@
+// Section 6.2 sensitivity to MAX_OVERSUB: 125% -> 120% -> 115% of server CPU
+// capacity. Uses the oracle predictor (RC-soft-right), which the paper shows
+// behaves like RC-informed-soft, to keep the sweep independent of training.
+#include "bench/sched_common.h"
+#include "src/common/table_printer.h"
+
+using namespace rc;
+using namespace rc::bench;
+using rc::sched::PolicyKind;
+
+int main() {
+  Banner("Section 6.2: sensitivity to MAX_OVERSUB", "Sec. 6.2, 'Sensitivity to amount of oversubscription'");
+  // Run at the hot-load point where Baseline fails ~0.3% of VMs, so the
+  // failure column responds to the oversubscription headroom.
+  SchedStudy study(500'000, /*train_client=*/false);
+  std::cout << "[sched] " << study.requests().size() << " arrivals; policy RC-soft-right\n\n";
+
+  TablePrinter table(SimHeader());
+  sched::SimResult baseline = study.Run(PolicyKind::kBaseline);
+  PrintSimRow(table, "Baseline (no oversub)", baseline);
+  for (double oversub : {1.25, 1.20, 1.15}) {
+    sched::OversubParams params;
+    params.max_oversub = oversub;
+    sched::SimResult result = study.Run(PolicyKind::kRcSoftRight, params);
+    PrintSimRow(table, "RC @ " + TablePrinter::Pct(oversub, 0), result);
+  }
+  table.Print(std::cout);
+
+  std::cout << "\npaper anchors: lowering MAX_OVERSUB raises failures (less capacity\n"
+            << "for non-production) but lowers readings >100% (fewer concurrent\n"
+            << "spikes); at 115% the paper still sees 65% fewer failures than Baseline\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Section 6.2 sensitivity to VM resource utilization: add 25% to every real
+// utilization reading and +1 to every predicted bucket, then compare the
+// soft and hard variants of the utilization rule.
+#include "bench/sched_common.h"
+#include "src/common/table_printer.h"
+
+using namespace rc;
+using namespace rc::bench;
+using rc::sched::PolicyKind;
+
+int main() {
+  Banner("Section 6.2: sensitivity to VM resource utilization (+25% util, +1 bucket)",
+         "Sec. 6.2, 'Sensitivity to VM resource utilization'");
+  SchedStudy study(368'000, /*train_client=*/false);
+
+  sched::SimConfig inflated = SchedStudy::DefaultSimConfig();
+  inflated.util_inflation = 0.25;
+
+  TablePrinter table(SimHeader());
+  // Both variants run on oracle predictions (+1 bucket shift), matching the
+  // paper's setup of perturbing the real utilizations and the predictions.
+  sched::SimResult soft = study.Run(PolicyKind::kRcInformedSoft, {}, &inflated,
+                                    /*bucket_shift=*/1);
+  PrintSimRow(table, "RC-informed-soft (+25%, +1b)", soft);
+  sched::SimResult hard = study.Run(PolicyKind::kRcInformedHard, {}, &inflated,
+                                    /*bucket_shift=*/1);
+  PrintSimRow(table, "RC-informed-hard (+25%, +1b)", hard);
+  // Unperturbed reference rows.
+  sched::SimResult soft_ref = study.Run(PolicyKind::kRcInformedSoft);
+  PrintSimRow(table, "RC-informed-soft (reference)", soft_ref);
+  table.Print(std::cout);
+
+  std::cout << "\npaper anchor: higher utilization makes the hard rule fail slightly\n"
+            << "more VMs than the soft rule (the paper measures a difference of just\n"
+            << "4 failures), because predictions must exceed capacity on all servers\n"
+            << "for the hard rule to produce an extra failure\n";
+  return 0;
+}

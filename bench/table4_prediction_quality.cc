@@ -1,0 +1,66 @@
+// Tables 3 and 4: bucket definitions and RC's prediction quality — train on
+// two months, test on the third; report accuracy, per-bucket prevalence /
+// precision / recall, and the confidence-thresholded P^theta / R^theta
+// columns (theta = 0.6).
+#include "bench/bench_common.h"
+#include "src/core/evaluation.h"
+#include "src/common/table_printer.h"
+
+using namespace rc;
+using namespace rc::core;
+
+int main() {
+  bench::Banner("Table 4: RC prediction quality (train 2 months, test 1)",
+                "Tables 3-4");
+
+  // Table 3 (bucket boundaries) for reference.
+  {
+    TablePrinter buckets({"Metric", "Bucket 1", "Bucket 2", "Bucket 3", "Bucket 4"});
+    for (Metric m : {Metric::kAvgCpu, Metric::kDeployVms, Metric::kLifetime,
+                     Metric::kClass}) {
+      std::vector<std::string> row = {m == Metric::kAvgCpu ? "Avg and P95 util"
+                                      : m == Metric::kDeployVms
+                                          ? "Deployment size (#VMs/#cores)"
+                                          : MetricName(m)};
+      for (int b = 0; b < NumBuckets(m); ++b) row.push_back(BucketLabel(m, b));
+      buckets.AddRow(std::move(row));
+    }
+    buckets.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  trace::Trace t = bench::CharacterizationTrace(100'000, /*seed=*/42);
+  OfflinePipeline pipeline(bench::DefaultPipelineConfig(60 * kDay));
+  TrainedModels trained = pipeline.Run(t);
+
+  TablePrinter table({"Metric", "Acc", "b1 %", "b1 P", "b1 R", "b2 %", "b2 P", "b2 R",
+                      "b3 %", "b3 P", "b3 R", "b4 %", "b4 P", "b4 R", "P^t", "R^t", "n"});
+  for (Metric m : kAllMetrics) {
+    auto examples = OfflinePipeline::BuildExamples(t, m, 60 * kDay, 90 * kDay, true);
+    Featurizer featurizer(m, OfflinePipeline::EncodingFor(m));
+    MetricQuality q =
+        EvaluateModel(*trained.models.at(MetricModelName(m)), featurizer, examples, 0.6);
+    std::vector<std::string> row = {MetricName(m), TablePrinter::Fmt(q.accuracy, 2)};
+    for (int b = 0; b < 4; ++b) {
+      if (b < static_cast<int>(q.buckets.size())) {
+        const BucketQuality& bq = q.buckets[static_cast<size_t>(b)];
+        row.push_back(TablePrinter::Pct(bq.prevalence, 0));
+        row.push_back(TablePrinter::Fmt(bq.precision, 2));
+        row.push_back(TablePrinter::Fmt(bq.recall, 2));
+      } else {
+        row.insert(row.end(), {"NA", "NA", "NA"});
+      }
+    }
+    row.push_back(TablePrinter::Fmt(q.p_theta, 2));
+    row.push_back(TablePrinter::Fmt(q.r_theta, 2));
+    row.push_back(std::to_string(q.examples));
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  std::cout << "\npaper anchors (Table 4): accuracy 0.79 (lifetime) .. 0.90 (class);\n"
+            << "P^theta 0.85-0.94 at theta=0.6 without collapsing coverage; the class\n"
+            << "metric is ~99% delay-insensitive with recall-first interactive handling\n"
+            << "(P^t = precision over served predictions, R^t = fraction served)\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Cluster-selection use case (paper Section 4.1, "Smart cluster selection"):
+// before creating a deployment, ask RC how large it is likely to grow and
+// pick a cluster with enough headroom — avoiding eventual deployment
+// failures without permanently reserving large growth buffers everywhere.
+//
+// Build: cmake --build build && ./build/examples/capacity_planner
+#include <iostream>
+#include <set>
+
+#include "src/core/client.h"
+#include "src/core/offline_pipeline.h"
+#include "src/store/kv_store.h"
+#include "src/common/table_printer.h"
+#include "src/trace/workload_model.h"
+
+using namespace rc;
+
+namespace {
+
+// Conservative core demand for a deployment-size bucket (upper edge).
+int64_t BucketHighCores(int bucket) {
+  switch (bucket) {
+    case 0: return 1;
+    case 1: return 10;
+    case 2: return 100;
+    default: return 400;
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Cluster selection with deployment-size predictions ==\n\n";
+
+  trace::WorkloadConfig workload;
+  workload.target_vm_count = 20'000;
+  workload.num_subscriptions = 800;
+  workload.seed = 37;
+  trace::Trace trace = trace::WorkloadModel(workload).Generate();
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.train_end = 60 * kDay;
+  pipeline_config.rf.num_trees = 12;
+  pipeline_config.gbt.num_rounds = 25;
+  core::OfflinePipeline pipeline(pipeline_config);
+  core::TrainedModels trained = pipeline.Run(trace);
+  store::KvStore store;
+  core::OfflinePipeline::Publish(trained, store);
+  core::Client client(&store, core::ClientConfig{});
+  client.Initialize();
+
+  // Three candidate clusters with different free capacity (cores).
+  struct Candidate {
+    const char* name;
+    int64_t free_cores;
+  };
+  Candidate clusters[] = {{"cluster-A (nearly full)", 40},
+                          {"cluster-B (moderate)", 160},
+                          {"cluster-C (fresh)", 2'000}};
+
+  // Incoming deployment requests: first VM of several test-month groups.
+  static const trace::VmSizeCatalog catalog;
+  std::vector<const trace::VmRecord*> first_vms;
+  {
+    std::set<uint64_t> seen_subs;
+    for (const auto* vm : trace.VmsCreatedIn(61 * kDay, 90 * kDay)) {
+      if (!trained.feature_data.contains(vm->subscription_id)) continue;
+      if (seen_subs.insert(vm->subscription_id).second) first_vms.push_back(vm);
+      if (first_vms.size() == 6) break;
+    }
+  }
+
+  TablePrinter table({"deployment (subscription)", "predicted #cores bucket", "conf",
+                      "reserve", "placed on"});
+  for (const auto* vm : first_vms) {
+    core::Prediction p =
+        client.PredictSingle("DEPLOY_SIZE_CORES", core::InputsFromVm(*vm, catalog));
+    // No or low-confidence prediction: reserve pessimistically.
+    int bucket = (p.valid && p.score >= 0.6) ? p.bucket : 3;
+    int64_t reserve = BucketHighCores(bucket);
+    const char* placed = "rejected (no capacity)";
+    for (const Candidate& c : clusters) {
+      if (c.free_cores >= reserve) {
+        placed = c.name;
+        break;
+      }
+    }
+    table.AddRow({std::to_string(vm->subscription_id),
+                  p.valid ? BucketLabel(Metric::kDeployCores, p.bucket) : "no-prediction",
+                  p.valid ? TablePrinter::Fmt(p.score, 2) : "-",
+                  std::to_string(reserve) + " cores", placed});
+  }
+  table.Print(std::cout);
+  std::cout << "\nsmall predicted deployments go to tight clusters; only the few\n"
+            << "predicted-large ones need the fresh cluster's headroom — the paper's\n"
+            << "point that growth buffers need not be reserved everywhere.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Health-management use case (paper Section 4.1, "Scheduling server
+// maintenance"): when a server starts to misbehave, query RC for the
+// expected lifetimes of its VMs and decide whether maintenance can simply
+// wait for them to drain — avoiding both live migration and VM downtime.
+//
+// Build: cmake --build build && ./build/examples/maintenance_planner
+#include <algorithm>
+#include <iostream>
+
+#include "src/core/client.h"
+#include "src/core/offline_pipeline.h"
+#include "src/store/kv_store.h"
+#include "src/common/table_printer.h"
+#include "src/trace/workload_model.h"
+
+using namespace rc;
+
+namespace {
+
+// Upper edge of a lifetime bucket in hours (conservative drain estimate);
+// the top bucket is open-ended.
+double LifetimeBucketHighHours(int bucket) {
+  switch (bucket) {
+    case 0: return 0.25;
+    case 1: return 1.0;
+    case 2: return 24.0;
+    default: return -1.0;  // >24h: unbounded
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "== Maintenance planning with lifetime predictions ==\n\n";
+
+  trace::WorkloadConfig workload;
+  workload.target_vm_count = 20'000;
+  workload.num_subscriptions = 800;
+  workload.seed = 23;
+  trace::Trace trace = trace::WorkloadModel(workload).Generate();
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.train_end = 60 * kDay;
+  pipeline_config.rf.num_trees = 12;
+  pipeline_config.gbt.num_rounds = 25;
+  core::OfflinePipeline pipeline(pipeline_config);
+  core::TrainedModels trained = pipeline.Run(trace);
+  store::KvStore store;
+  core::OfflinePipeline::Publish(trained, store);
+  core::Client client(&store, core::ClientConfig{});
+  client.Initialize();
+
+  // Pretend a server hosts these eight currently-running VMs (sampled from
+  // the test month), and the health monitor wants to schedule maintenance.
+  static const trace::VmSizeCatalog catalog;
+  std::vector<const trace::VmRecord*> hosted;
+  for (const auto* vm : trace.VmsCreatedIn(61 * kDay, 90 * kDay)) {
+    if (trained.feature_data.contains(vm->subscription_id)) hosted.push_back(vm);
+    if (hosted.size() == 8) break;
+  }
+
+  TablePrinter table({"vm", "predicted lifetime", "confidence", "true lifetime",
+                      "drain bound (h)"});
+  double worst_bound_h = 0.0;
+  bool unbounded = false;
+  int64_t no_predictions = 0;
+  for (const auto* vm : hosted) {
+    core::Prediction p =
+        client.PredictSingle("VM_LIFETIME", core::InputsFromVm(*vm, catalog));
+    std::string label = "no-prediction", conf = "-", bound = "assume unbounded";
+    if (p.valid) {
+      label = BucketLabel(Metric::kLifetime, p.bucket);
+      conf = TablePrinter::Fmt(p.score, 2);
+      double hours = LifetimeBucketHighHours(p.bucket);
+      if (hours < 0 || p.score < 0.6) {
+        unbounded = true;
+        bound = "unbounded";
+      } else {
+        worst_bound_h = std::max(worst_bound_h, hours);
+        bound = TablePrinter::Fmt(hours, 2);
+      }
+    } else {
+      ++no_predictions;
+      unbounded = true;
+    }
+    table.AddRow({std::to_string(vm->vm_id), label, conf,
+                  BucketLabel(Metric::kLifetime, LifetimeBucket(vm->lifetime())), bound});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\ndecision: ";
+  if (unbounded) {
+    std::cout << "at least one VM is long-lived (or unpredicted) — schedule\n"
+              << "maintenance via live migration or wait for a maintenance window.\n";
+  } else {
+    std::cout << "all VMs should drain within ~" << worst_bound_h
+              << " hours — defer maintenance and avoid live migration entirely.\n";
+  }
+  if (no_predictions > 0) {
+    std::cout << "(" << no_predictions
+              << " VMs had no feature data; clients must handle no-predictions)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// The Section 5 case study as a runnable example: a VM scheduler that uses
+// RC's P95-utilization predictions to oversubscribe servers safely
+// (Algorithm 1). Trains on the first half of a first-party trace, then
+// replays the second half through Baseline, Naive, and RC-informed policies
+// and prints the comparison.
+//
+// Build: cmake --build build && ./build/examples/oversub_scheduling
+#include <iostream>
+
+#include "src/core/client.h"
+#include "src/core/offline_pipeline.h"
+#include "src/sched/simulator.h"
+#include "src/store/kv_store.h"
+#include "src/common/table_printer.h"
+#include "src/trace/workload_model.h"
+
+using namespace rc;
+
+int main() {
+  std::cout << "== RC-informed oversubscription (paper Section 5 / 6.2) ==\n\n";
+
+  // A first-party cluster workload: the paper only oversubscribes with
+  // first-party, non-production VMs (71% of VMs are production-tagged).
+  trace::WorkloadConfig workload;
+  workload.target_vm_count = 60'000;
+  workload.duration = 28 * kDay;
+  workload.num_subscriptions = 900;
+  workload.frac_first_party = 1.0;
+  workload.first_party_production_prob = 0.71;
+  workload.lifetime_cap_days = 10.0;
+  workload.lifetime_tail_alpha = 1.0;
+  workload.popularity_cap = 0.0015;
+  workload.deploy_vms_marginal = {0.49, 0.41, 0.10, 0.0};
+  workload.seed = 11;
+  trace::Trace trace = trace::WorkloadModel(workload).Generate();
+
+  // Offline: train the P95 model on the first two weeks.
+  core::PipelineConfig pipeline_config;
+  pipeline_config.train_end = 14 * kDay;
+  pipeline_config.rf.num_trees = 16;
+  pipeline_config.gbt.num_rounds = 10;
+  core::OfflinePipeline pipeline(pipeline_config);
+  core::TrainedModels trained = pipeline.Run(trace);
+  store::KvStore store;
+  core::OfflinePipeline::Publish(trained, store);
+
+  core::Client client(&store, core::ClientConfig{});
+  client.Initialize();
+
+  // Requests: the second two weeks, rebased to t=0.
+  std::vector<sched::VmRequest> requests;
+  for (sched::VmRequest req : sched::RequestsFromTrace(trace, 28 * kDay)) {
+    if (req.arrival < 14 * kDay) continue;
+    req.arrival -= 14 * kDay;
+    req.departure -= 14 * kDay;
+    requests.push_back(req);
+  }
+  std::cout << "replaying " << requests.size() << " VM arrivals over two weeks\n\n";
+
+  sched::SimConfig sim_config;
+  sim_config.cluster = sched::ClusterConfig{140, 16, 112.0};
+  sim_config.horizon = 14 * kDay;
+
+  static const trace::VmSizeCatalog catalog;
+  TablePrinter table({"policy", "failures", "readings >100%", "mean server util"});
+  for (sched::PolicyKind kind :
+       {sched::PolicyKind::kBaseline, sched::PolicyKind::kNaive,
+        sched::PolicyKind::kRcInformedSoft}) {
+    sched::Cluster cluster(sim_config.cluster);
+    sched::PolicyConfig policy_config;
+    policy_config.kind = kind;
+    sched::SchedulingPolicy policy(
+        policy_config, &cluster, [&](const sched::VmRequest& vm) {
+          // This is the entire scheduler-side integration with RC: one
+          // predict_single call per placement (Algorithm 1, line 9).
+          return client.PredictSingle("VM_P95UTIL",
+                                      core::InputsFromVm(*vm.source, catalog));
+        });
+    sched::ClusterSimulator simulator(sim_config);
+    sched::SimResult result = simulator.Run(requests, policy);
+    table.AddRow({ToString(kind), std::to_string(result.failures),
+                  std::to_string(result.overload_readings),
+                  TablePrinter::Pct(result.mean_occupied_utilization, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nRC-informed oversubscription packs non-production VMs beyond the\n"
+            << "physical core count while the predicted-P95 ledger keeps actual\n"
+            << "server utilization from exceeding capacity (Naive shows what happens\n"
+            << "without predictions).\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Workload characterization toolkit: builds, from a trace, every
+// distribution Section 3 of the paper reports (Figures 1-8). The benchmark
+// harness prints these; tests validate the synthetic workload against the
+// published shapes.
+#ifndef RC_SRC_ANALYSIS_CHARACTERIZATION_H_
+#define RC_SRC_ANALYSIS_CHARACTERIZATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/analysis/periodicity.h"
+#include "src/analysis/spearman.h"
+#include "src/common/cdf.h"
+#include "src/common/histogram.h"
+#include "src/common/sim_time.h"
+#include "src/trace/trace.h"
+
+namespace rc::analysis {
+
+enum class PartyFilter { kAll, kFirst, kThird };
+const char* ToString(PartyFilter f);
+bool Matches(const rc::trace::VmRecord& vm, PartyFilter filter);
+
+// --- Figure 1: CDFs of average and P95-of-max CPU utilization ---
+struct UtilizationCdfs {
+  rc::EmpiricalCdf avg;
+  rc::EmpiricalCdf p95_max;
+};
+UtilizationCdfs BuildUtilizationCdfs(const rc::trace::Trace& trace, PartyFilter filter);
+
+// --- Figures 2 and 3: VM size breakdowns ---
+// Fractions keyed by core count ("1", "2", "4", ...).
+rc::CategoricalHistogram CoreBreakdown(const rc::trace::Trace& trace, PartyFilter filter);
+// Fractions keyed by memory size in GB ("0.75", "1.75", ...).
+rc::CategoricalHistogram MemoryBreakdown(const rc::trace::Trace& trace, PartyFilter filter);
+
+// --- Figure 4: deployments, redefined as in the paper ---
+// "the set of VMs from each subscription that are deployed to a region
+// during a day."
+struct DeploymentGroup {
+  uint64_t subscription_id = 0;
+  int32_t region = 0;
+  int64_t day = 0;
+  rc::trace::Party party = rc::trace::Party::kFirst;
+  int64_t vm_count = 0;
+  int64_t cores = 0;
+};
+std::vector<DeploymentGroup> GroupDeployments(const rc::trace::Trace& trace);
+rc::EmpiricalCdf DeploymentSizeCdf(const rc::trace::Trace& trace, PartyFilter filter);
+
+// --- Figure 5: lifetime CDF over VMs that completed within the window ---
+rc::EmpiricalCdf LifetimeCdf(const rc::trace::Trace& trace, PartyFilter filter);
+
+// --- Figure 6: core-hours by workload class ---
+struct ClassCoreHours {
+  double delay_insensitive = 0.0;
+  double interactive = 0.0;
+  double unknown = 0.0;
+  double total() const { return delay_insensitive + interactive + unknown; }
+};
+// Core-hours are clipped to the observation window. When `use_fft` is true
+// the class is re-derived by the FFT detector (the paper's method);
+// otherwise the generative ground-truth label is used.
+ClassCoreHours CoreHoursByClass(const rc::trace::Trace& trace, PartyFilter filter,
+                                bool use_fft);
+
+// --- Figure 7: VM arrivals per hour at one region ---
+std::vector<int64_t> HourlyArrivals(const rc::trace::Trace& trace, int region,
+                                    SimTime from, SimTime to);
+
+// --- Per-subscription consistency (CoV) ---
+// CoV of `metric` across each subscription's VMs (subscriptions with at
+// least `min_vms` VMs). Section 3 reports e.g. "80% of subscriptions exhibit
+// a CoV of their average CPU utilizations smaller than 1".
+std::vector<double> SubscriptionCoVs(
+    const rc::trace::Trace& trace,
+    const std::function<double(const rc::trace::VmRecord&)>& metric, size_t min_vms = 3);
+// Fraction of values < threshold; convenience for the claims above.
+double FractionBelow(const std::vector<double>& xs, double threshold);
+
+// Fraction of subscriptions (with >= min_vms VMs) whose VMs all share one VM
+// type (paper: 96%).
+double SingleTypeSubscriptionFraction(const rc::trace::Trace& trace, size_t min_vms = 2);
+
+// --- Figure 8: Spearman correlations across the VM metrics ---
+// Columns: avg util, p95 util, cores, memory, lifetime, deployment size,
+// class (1 = delay-insensitive, 2 = interactive; unknown-class VMs are
+// excluded so all columns align).
+CorrelationMatrix MetricCorrelations(const rc::trace::Trace& trace, PartyFilter filter);
+
+}  // namespace rc::analysis
+
+#endif  // RC_SRC_ANALYSIS_CHARACTERIZATION_H_

@@ -1,0 +1,43 @@
+// FFT-based workload-class detector (paper Section 3.6): a VM whose
+// average-CPU series exhibits a dominant spectral peak at the diurnal
+// frequency (or its first harmonic) over >= 3 days is classified as
+// potentially interactive; everything else long-running is delay-insensitive;
+// VMs that did not run 3 consecutive days are Unknown. The classification is
+// deliberately conservative: false "interactive" labels are acceptable,
+// false "delay-insensitive" labels are not.
+#ifndef RC_SRC_ANALYSIS_PERIODICITY_H_
+#define RC_SRC_ANALYSIS_PERIODICITY_H_
+
+#include <span>
+
+#include "src/common/sim_time.h"
+#include "src/trace/vm_types.h"
+
+namespace rc::analysis {
+
+struct PeriodicityConfig {
+  // Minimum series length to attempt classification.
+  SimDuration min_span = 3 * kDay;
+  // Number of days of telemetry analyzed (from VM creation).
+  int analysis_days = 3;
+  // A diurnal peak must carry at least this multiple of the median
+  // per-bin spectral power to count as periodic...
+  double peak_to_median = 40.0;
+  // ...and at least this fraction of total signal power. (Still biased
+  // toward recall: a periodic background VM may be flagged interactive,
+  // which the paper deems the acceptable direction of error.)
+  double min_power_fraction = 0.25;
+};
+
+// Classifies a raw average-CPU series sampled at 5-minute slots.
+rc::trace::WorkloadClass ClassifySeries(std::span<const double> avg_series,
+                                        const PeriodicityConfig& config = {});
+
+// Convenience: synthesizes the VM's telemetry for the analysis window and
+// classifies it. Returns Unknown for VMs shorter than min_span.
+rc::trace::WorkloadClass ClassifyVm(const rc::trace::VmRecord& vm,
+                                    const PeriodicityConfig& config = {});
+
+}  // namespace rc::analysis
+
+#endif  // RC_SRC_ANALYSIS_PERIODICITY_H_

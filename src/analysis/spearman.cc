@@ -1,0 +1,75 @@
+#include "src/analysis/spearman.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rc::analysis {
+
+std::vector<double> FractionalRanks(std::span<const double> xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) { return xs[a] < xs[b]; });
+
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average 1-based rank across the tie group [i, j].
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t t = i; t <= j; ++t) ranks[order[t]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("SpearmanCorrelation: length mismatch");
+  }
+  const size_t n = xs.size();
+  if (n < 2) return 0.0;
+  std::vector<double> rx = FractionalRanks(xs);
+  std::vector<double> ry = FractionalRanks(ys);
+  double mx = 0.0, my = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mx += rx[i];
+    my += ry[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double num = 0.0, dx = 0.0, dy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double a = rx[i] - mx;
+    double b = ry[i] - my;
+    num += a * b;
+    dx += a * a;
+    dy += b * b;
+  }
+  if (dx == 0.0 || dy == 0.0) return 0.0;
+  return num / std::sqrt(dx * dy);
+}
+
+CorrelationMatrix SpearmanMatrix(const std::vector<std::string>& names,
+                                 const std::vector<std::vector<double>>& columns) {
+  if (names.size() != columns.size()) {
+    throw std::invalid_argument("SpearmanMatrix: names/columns mismatch");
+  }
+  const size_t k = names.size();
+  CorrelationMatrix out;
+  out.names = names;
+  out.rho.assign(k * k, 1.0);
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = i + 1; j < k; ++j) {
+      double r = SpearmanCorrelation(columns[i], columns[j]);
+      out.rho[i * k + j] = r;
+      out.rho[j * k + i] = r;
+    }
+  }
+  return out;
+}
+
+}  // namespace rc::analysis

@@ -1,0 +1,31 @@
+// Spearman rank correlation (Figure 8 of the paper correlates the VM metrics
+// pairwise with Spearman's method).
+#ifndef RC_SRC_ANALYSIS_SPEARMAN_H_
+#define RC_SRC_ANALYSIS_SPEARMAN_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rc::analysis {
+
+// Ranks with ties receiving the average rank (1-based fractional ranks).
+std::vector<double> FractionalRanks(std::span<const double> xs);
+
+// Spearman's rho between two equal-length series; 0 for degenerate input.
+double SpearmanCorrelation(std::span<const double> xs, std::span<const double> ys);
+
+// Pairwise correlation matrix over named metric columns (all columns must
+// have equal length).
+struct CorrelationMatrix {
+  std::vector<std::string> names;
+  std::vector<double> rho;  // row-major names.size() x names.size()
+
+  double at(size_t i, size_t j) const { return rho[i * names.size() + j]; }
+};
+CorrelationMatrix SpearmanMatrix(const std::vector<std::string>& names,
+                                 const std::vector<std::vector<double>>& columns);
+
+}  // namespace rc::analysis
+
+#endif  // RC_SRC_ANALYSIS_SPEARMAN_H_

@@ -1,0 +1,88 @@
+#include "src/common/buckets.h"
+
+#include <stdexcept>
+
+namespace rc {
+
+const char* MetricName(Metric m) {
+  switch (m) {
+    case Metric::kAvgCpu: return "Avg CPU utilization";
+    case Metric::kP95Cpu: return "P95 CPU utilization";
+    case Metric::kDeployVms: return "Deploy size (#VMs)";
+    case Metric::kDeployCores: return "Deploy size (#cores)";
+    case Metric::kLifetime: return "Lifetime";
+    case Metric::kClass: return "Workload class";
+  }
+  return "?";
+}
+
+const char* MetricModelName(Metric m) {
+  switch (m) {
+    case Metric::kAvgCpu: return "VM_AVGUTIL";
+    case Metric::kP95Cpu: return "VM_P95UTIL";
+    case Metric::kDeployVms: return "DEPLOY_SIZE_VMS";
+    case Metric::kDeployCores: return "DEPLOY_SIZE_CORES";
+    case Metric::kLifetime: return "VM_LIFETIME";
+    case Metric::kClass: return "VM_WORKLOAD_CLASS";
+  }
+  return "?";
+}
+
+int NumBuckets(Metric m) { return m == Metric::kClass ? 2 : 4; }
+
+int UtilizationBucket(double utilization_fraction) {
+  if (utilization_fraction < 0.25) return 0;
+  if (utilization_fraction < 0.50) return 1;
+  if (utilization_fraction < 0.75) return 2;
+  return 3;
+}
+
+int DeploymentSizeBucket(int64_t size) {
+  if (size <= 1) return 0;
+  if (size <= 10) return 1;
+  if (size <= 100) return 2;
+  return 3;
+}
+
+int LifetimeBucket(SimDuration lifetime) {
+  if (lifetime <= 15 * kMinute) return 0;
+  if (lifetime <= 60 * kMinute) return 1;
+  if (lifetime <= 24 * kHour) return 2;
+  return 3;
+}
+
+BucketRange UtilizationBucketRange(int bucket) {
+  switch (bucket) {
+    case 0: return {0.0, 0.25};
+    case 1: return {0.25, 0.50};
+    case 2: return {0.50, 0.75};
+    case 3: return {0.75, 1.0};
+    default: throw std::out_of_range("UtilizationBucketRange: bad bucket");
+  }
+}
+
+std::string BucketLabel(Metric m, int bucket) {
+  switch (m) {
+    case Metric::kAvgCpu:
+    case Metric::kP95Cpu: {
+      static const char* kLabels[] = {"0-25%", "25-50%", "50-75%", "75-100%"};
+      return kLabels[bucket];
+    }
+    case Metric::kDeployVms:
+    case Metric::kDeployCores: {
+      static const char* kLabels[] = {"1", ">1 & <=10", ">10 & <=100", ">100"};
+      return kLabels[bucket];
+    }
+    case Metric::kLifetime: {
+      static const char* kLabels[] = {"<=15 min", ">15 & <=60 min", ">1 & <=24 h", ">24 h"};
+      return kLabels[bucket];
+    }
+    case Metric::kClass: {
+      static const char* kLabels[] = {"Delay-insensitive", "Interactive"};
+      return kLabels[bucket];
+    }
+  }
+  return "?";
+}
+
+}  // namespace rc

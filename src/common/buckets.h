@@ -1,0 +1,69 @@
+// The paper formulates every predicted metric as a classification problem
+// over a small number of buckets (Table 3). The bucket definitions are shared
+// by the workload model (which calibrates against the published bucket
+// marginals), the offline training pipeline, the client library, and the
+// benchmark harness, so they live in the common layer.
+#ifndef RC_SRC_COMMON_BUCKETS_H_
+#define RC_SRC_COMMON_BUCKETS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/common/sim_time.h"
+
+namespace rc {
+
+// The six predicted metrics of Table 1 / Table 4.
+enum class Metric {
+  kAvgCpu = 0,       // average CPU utilization, fraction of allocation
+  kP95Cpu = 1,       // 95th percentile of per-slot max CPU utilization
+  kDeployVms = 2,    // maximum deployment size in #VMs
+  kDeployCores = 3,  // maximum deployment size in #cores
+  kLifetime = 4,     // VM lifetime
+  kClass = 5,        // workload class (delay-insensitive / interactive)
+};
+inline constexpr int kNumMetrics = 6;
+inline constexpr std::array<Metric, kNumMetrics> kAllMetrics = {
+    Metric::kAvgCpu,   Metric::kP95Cpu,   Metric::kDeployVms,
+    Metric::kDeployCores, Metric::kLifetime, Metric::kClass};
+
+// Human-readable metric names matching Table 4 rows.
+const char* MetricName(Metric m);
+// Model names as registered in the RC model store (e.g. "VM_P95UTIL" used by
+// Algorithm 1 in the paper).
+const char* MetricModelName(Metric m);
+
+// Number of buckets for the metric: 4 for the numeric metrics, 2 for class.
+int NumBuckets(Metric m);
+
+// Workload class labels (bucket indices for Metric::kClass).
+inline constexpr int kClassDelayInsensitive = 0;
+inline constexpr int kClassInteractive = 1;
+
+// Table 3 bucketization. All functions return a bucket index in
+// [0, NumBuckets(m)).
+//
+// Avg / P95 utilization: [0,25%) [25,50%) [50,75%) [75,100%].
+int UtilizationBucket(double utilization_fraction);
+// Deployment size (#VMs and #cores): {1} (1,10] (10,100] (100, inf).
+int DeploymentSizeBucket(int64_t size);
+// Lifetime: <=15 min, (15,60] min, (1,24] h, >24 h.
+int LifetimeBucket(SimDuration lifetime);
+
+// Bucket boundary helpers used when a client converts a predicted bucket back
+// to a number (the paper: "the client can assume the highest value for the
+// predicted bucket, the middle value, or the lowest value").
+struct BucketRange {
+  double lo;
+  double hi;
+};
+// Utilization bucket ranges as fractions (e.g. bucket 1 -> {0.25, 0.50}).
+BucketRange UtilizationBucketRange(int bucket);
+
+// Label for a bucket of a metric, e.g. "0-25%", ">24h", "Interactive".
+std::string BucketLabel(Metric m, int bucket);
+
+}  // namespace rc
+
+#endif  // RC_SRC_COMMON_BUCKETS_H_

@@ -1,0 +1,75 @@
+#include "src/common/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rc {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  Finalize();
+}
+
+void EmpiricalCdf::Add(double x) {
+  samples_.push_back(x);
+  finalized_ = false;
+}
+
+void EmpiricalCdf::Finalize() {
+  if (!finalized_) {
+    std::sort(samples_.begin(), samples_.end());
+    finalized_ = true;
+  }
+}
+
+double EmpiricalCdf::Eval(double x) const {
+  if (!finalized_) {
+    throw std::logic_error("EmpiricalCdf: Eval before Finalize");
+  }
+  if (samples_.empty()) return 0.0;
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  if (!finalized_ || samples_.empty()) {
+    throw std::logic_error("EmpiricalCdf: Quantile on empty/unfinalized CDF");
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(std::ceil(q * static_cast<double>(samples_.size()))) ;
+  if (idx > 0) --idx;
+  if (idx >= samples_.size()) idx = samples_.size() - 1;
+  return samples_[idx];
+}
+
+double EmpiricalCdf::min() const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: min of empty");
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  if (samples_.empty()) throw std::logic_error("EmpiricalCdf: max of empty");
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Curve(size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  out.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    double q = static_cast<double>(i + 1) / static_cast<double>(points);
+    out.emplace_back(Quantile(q), q);
+  }
+  return out;
+}
+
+std::string EmpiricalCdf::TabulateAt(const std::vector<double>& xs) const {
+  std::ostringstream os;
+  for (double x : xs) {
+    os << x << '\t' << Eval(x) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rc

@@ -1,0 +1,50 @@
+// Empirical cumulative distribution functions. Used to regenerate the CDF
+// figures of the paper (Figures 1, 4, 5) and to validate the workload model
+// against the published distributions.
+#ifndef RC_SRC_COMMON_CDF_H_
+#define RC_SRC_COMMON_CDF_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rc {
+
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  // Builds from samples; sorts internally.
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  void Add(double x);
+  // Must be called after Add()s and before queries; idempotent.
+  void Finalize();
+
+  bool empty() const { return samples_.empty(); }
+  size_t size() const { return samples_.size(); }
+
+  // P(X <= x) in [0, 1].
+  double Eval(double x) const;
+  // Inverse CDF: smallest sample value v such that P(X <= v) >= q, q in [0,1].
+  double Quantile(double q) const;
+
+  double min() const;
+  double max() const;
+
+  // Samples the CDF at `points` evenly spaced quantiles — the series a plot
+  // of the figure would draw. Returns (x, cumulative-probability) pairs.
+  std::vector<std::pair<double, double>> Curve(size_t points = 100) const;
+
+  // Renders "x<TAB>P(X<=x)" lines at the given x values (one per line), for
+  // direct comparison with the paper's figures.
+  std::string TabulateAt(const std::vector<double>& xs) const;
+
+ private:
+  std::vector<double> samples_;
+  bool finalized_ = false;
+};
+
+}  // namespace rc
+
+#endif  // RC_SRC_COMMON_CDF_H_

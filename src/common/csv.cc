@@ -1,0 +1,46 @@
+#include "src/common/csv.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace rc {
+
+std::vector<std::string> SplitCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      break;
+    }
+    fields.emplace_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].find_first_of(",\n\r") != std::string::npos) {
+      throw std::invalid_argument("CsvWriter: field needs quoting: " + fields[i]);
+    }
+    if (i > 0) out_ << ',';
+    out_ << fields[i];
+  }
+  out_ << '\n';
+}
+
+bool CsvReader::ReadRow(std::vector<std::string>& fields) {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    fields = SplitCsvLine(line);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace rc

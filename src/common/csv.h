@@ -1,0 +1,44 @@
+// Minimal CSV reading/writing for trace import/export. Fields never contain
+// commas in our schemas, so no quoting is implemented; the writer rejects
+// fields that would need it rather than emit a corrupt file.
+#ifndef RC_SRC_COMMON_CSV_H_
+#define RC_SRC_COMMON_CSV_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rc {
+
+// Splits one CSV line on commas. No quoting support.
+std::vector<std::string> SplitCsvLine(std::string_view line);
+
+class CsvWriter {
+ public:
+  // Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  // Writes one row. Throws std::invalid_argument if a field contains a comma
+  // or newline.
+  void WriteRow(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+};
+
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in) : in_(in) {}
+
+  // Reads the next row into `fields`; returns false at end of input.
+  // Skips blank lines.
+  bool ReadRow(std::vector<std::string>& fields);
+
+ private:
+  std::istream& in_;
+};
+
+}  // namespace rc
+
+#endif  // RC_SRC_COMMON_CSV_H_

@@ -1,0 +1,43 @@
+// Stable, fast non-cryptographic hashing. The RC client library keys its
+// result cache on hash(model name, client inputs); the hash must be stable
+// across processes (entries round-trip through the disk cache), so we do not
+// use std::hash.
+#ifndef RC_SRC_COMMON_HASHING_H_
+#define RC_SRC_COMMON_HASHING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rc {
+
+inline constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// FNV-1a over raw bytes.
+inline uint64_t Fnv1a(std::string_view bytes, uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Boost-style combine with the 64-bit golden-ratio constant.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+inline uint64_t HashU64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace rc
+
+#endif  // RC_SRC_COMMON_HASHING_H_

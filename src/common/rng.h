@@ -1,0 +1,97 @@
+// Deterministic pseudo-random number generation and the distribution samplers
+// used throughout the workload model.
+//
+// We deliberately avoid <random>'s engines for the core generator: their exact
+// output is implementation-defined for some distributions, and reproducibility
+// across standard libraries matters for tests and benchmark comparability.
+// The generator is xoshiro256** seeded via SplitMix64 (Blackman & Vigna).
+#ifndef RC_SRC_COMMON_RNG_H_
+#define RC_SRC_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rc {
+
+// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+uint64_t SplitMix64(uint64_t& state);
+
+// xoshiro256** 1.0. Passes BigCrush; period 2^256 - 1.
+class Rng {
+ public:
+  // Seeds the four words of state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Raw 64 uniform bits.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Standard normal via Box-Muller (cached second variate).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Log-normal: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+
+  // Exponential with given rate (lambda > 0).
+  double Exponential(double rate);
+
+  // Weibull with shape k > 0 and scale lambda > 0. Heavy-tailed for k < 1,
+  // which is how the paper models VM inter-arrival times (Section 3.7).
+  double Weibull(double shape, double scale);
+
+  // Pareto (type I) with scale x_m > 0 and tail index alpha > 0.
+  double Pareto(double xm, double alpha);
+
+  // Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to `weights`.
+  // Weights need not be normalized; non-positive weights are treated as 0.
+  // Requires at least one positive weight.
+  size_t Categorical(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an independent child generator; useful for giving each
+  // subscription or VM its own stream without cross-coupling.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+// Precomputed alias-free categorical sampler for repeated draws from the same
+// distribution (inverse-CDF over cumulative weights, O(log n) per draw).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::vector<double> weights);
+
+  size_t Sample(Rng& rng) const;
+  size_t size() const { return cum_.size(); }
+
+ private:
+  std::vector<double> cum_;  // normalized cumulative weights, last == 1.0
+};
+
+}  // namespace rc
+
+#endif  // RC_SRC_COMMON_RNG_H_

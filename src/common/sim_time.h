@@ -1,0 +1,40 @@
+// Simulation time. All telemetry in the paper is reported in 5-minute
+// intervals; we keep time as integral seconds since the start of the trace
+// and provide slot helpers so utilization series index cleanly.
+#ifndef RC_SRC_COMMON_SIM_TIME_H_
+#define RC_SRC_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace rc {
+
+using SimTime = int64_t;      // seconds since trace start
+using SimDuration = int64_t;  // seconds
+
+inline constexpr SimDuration kSecond = 1;
+inline constexpr SimDuration kMinute = 60;
+inline constexpr SimDuration kHour = 3600;
+inline constexpr SimDuration kDay = 86400;
+inline constexpr SimDuration kWeek = 7 * kDay;
+// Telemetry reporting interval (paper: utilization reported every 5 minutes).
+inline constexpr SimDuration kSlot = 5 * kMinute;
+inline constexpr int64_t kSlotsPerHour = kHour / kSlot;
+inline constexpr int64_t kSlotsPerDay = kDay / kSlot;
+
+// Index of the 5-minute slot containing time t (floor).
+inline constexpr int64_t SlotIndex(SimTime t) { return t / kSlot; }
+// Start time of slot i.
+inline constexpr SimTime SlotStart(int64_t i) { return i * kSlot; }
+
+// Hour-of-day in [0, 24) for time t, assuming the trace starts at midnight.
+inline constexpr int HourOfDay(SimTime t) {
+  return static_cast<int>((t % kDay) / kHour);
+}
+// Day-of-week in [0, 7), day 0 being the trace's first day (a Monday by
+// convention in the workload model).
+inline constexpr int DayOfWeek(SimTime t) { return static_cast<int>((t / kDay) % 7); }
+inline constexpr bool IsWeekend(SimTime t) { return DayOfWeek(t) >= 5; }
+
+}  // namespace rc
+
+#endif  // RC_SRC_COMMON_SIM_TIME_H_

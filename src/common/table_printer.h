@@ -1,0 +1,32 @@
+// Aligned ASCII table output used by the benchmark harness to print the
+// paper's tables/figure series in a readable form.
+#ifndef RC_SRC_COMMON_TABLE_PRINTER_H_
+#define RC_SRC_COMMON_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rc {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  // Convenience: formats doubles with the given precision.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Pct(double fraction, int precision = 1);  // 0.81 -> "81.0%"
+
+  // Renders the table with a separator line under the header.
+  void Print(std::ostream& out) const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rc
+
+#endif  // RC_SRC_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,284 @@
+#include "src/core/client.h"
+
+#include <algorithm>
+
+namespace rc::core {
+
+using rc::store::VersionedBlob;
+
+namespace {
+// Disk-cache key holding the list of blob keys the client has seen, so a
+// restarted client can reload everything while the store is down.
+constexpr char kIndexKey[] = "__rc_client_index__";
+
+std::vector<uint8_t> SerializeKeys(const std::vector<std::string>& keys) {
+  rc::ml::ByteWriter w;
+  w.U32(static_cast<uint32_t>(keys.size()));
+  for (const auto& key : keys) w.String(key);
+  return w.TakeBytes();
+}
+
+std::vector<std::string> DeserializeKeys(const std::vector<uint8_t>& bytes) {
+  rc::ml::ByteReader r(bytes);
+  uint32_t n = r.U32();
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) keys.push_back(r.String());
+  return keys;
+}
+}  // namespace
+
+Client::Client(rc::store::KvStore* store, ClientConfig config)
+    : store_(store), config_(std::move(config)) {
+  if (!config_.disk_cache_dir.empty()) {
+    disk_ = std::make_unique<rc::store::DiskCache>(config_.disk_cache_dir,
+                                                   config_.disk_expiry_seconds);
+  }
+}
+
+Client::~Client() {
+  if (store_ != nullptr && store_subscription_ >= 0) {
+    store_->Unsubscribe(store_subscription_);
+  }
+}
+
+bool Client::Initialize() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (store_ != nullptr) {
+    if (config_.mode == CacheMode::kPush) {
+      if (store_->available()) {
+        LoadAllFromStoreLocked();
+      } else if (disk_ != nullptr) {
+        // Cold start during an outage: rebuild caches from the disk mirror.
+        if (auto index = disk_->Get(kIndexKey)) {
+          for (const std::string& key : DeserializeKeys(index->data)) {
+            if (auto blob = disk_->Get(key)) {
+              ++stats_.disk_hits;
+              IngestLocked(key, *blob);
+            }
+          }
+        }
+      }
+      // Keep caches fresh as RC publishes new artifacts.
+      store_subscription_ = store_->Subscribe([this](const std::string& key,
+                                                     const VersionedBlob& blob) {
+        std::lock_guard<std::mutex> push_lock(mu_);
+        IngestLocked(key, blob);
+        // New artifacts can invalidate cached results.
+        result_cache_.clear();
+      });
+    }
+    return true;
+  }
+  // Store-less client: disk cache only.
+  if (disk_ == nullptr) return false;
+  if (auto index = disk_->Get(kIndexKey)) {
+    for (const std::string& key : DeserializeKeys(index->data)) {
+      if (auto blob = disk_->Get(key)) {
+        ++stats_.disk_hits;
+        IngestLocked(key, *blob);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+void Client::LoadAllFromStoreLocked() {
+  for (const std::string& key : store_->ListKeys("")) {
+    if (auto blob = store_->Get(key)) {
+      ++stats_.store_fetches;
+      IngestLocked(key, *blob);
+    }
+  }
+  PersistIndexLocked();
+}
+
+void Client::IngestLocked(const std::string& key, const VersionedBlob& blob) {
+  uint64_t subscription_id = 0;
+  if (key.rfind(kModelKeyPrefix, 0) == 0) {
+    std::string name = key.substr(sizeof(kModelKeyPrefix) - 1);
+    LoadedModel& entry = models_[name];
+    entry.model = rc::ml::Classifier::DeserializeTagged(blob.data);
+    // The spec may arrive before or after the model; featurizer is built
+    // when both are present.
+    if (!entry.spec.name.empty() && entry.featurizer == nullptr) {
+      entry.featurizer = std::make_unique<Featurizer>(entry.spec.metric, entry.spec.encoding);
+    }
+  } else if (key.rfind(kSpecKeyPrefix, 0) == 0) {
+    ModelSpec spec = ModelSpec::Deserialize(blob.data);
+    LoadedModel& entry = models_[spec.name];
+    entry.spec = spec;
+    entry.featurizer = std::make_unique<Featurizer>(spec.metric, spec.encoding);
+  } else if (ParseFeatureKey(key, subscription_id)) {
+    features_[subscription_id] = SubscriptionFeatures::Deserialize(blob.data);
+  } else {
+    return;  // unknown key family
+  }
+  if (disk_ != nullptr) {
+    disk_->Put(key, blob);
+    if (std::find(known_keys_.begin(), known_keys_.end(), key) == known_keys_.end()) {
+      known_keys_.push_back(key);
+      PersistIndexLocked();
+    }
+  }
+}
+
+void Client::PersistIndexLocked() {
+  if (disk_ == nullptr) return;
+  VersionedBlob blob;
+  blob.version = 1;
+  blob.data = SerializeKeys(known_keys_);
+  disk_->Put(kIndexKey, blob);
+}
+
+std::optional<VersionedBlob> Client::FetchLocked(const std::string& key, bool allow_store) {
+  if (store_ != nullptr && allow_store && store_->available()) {
+    if (auto blob = store_->Get(key)) {
+      ++stats_.store_fetches;
+      return blob;
+    }
+    return std::nullopt;  // store up, key genuinely absent
+  }
+  // Store down (or absent): the disk cache is the fallback.
+  if (disk_ != nullptr) {
+    if (auto blob = disk_->Get(key)) {
+      ++stats_.disk_hits;
+      return blob;
+    }
+  }
+  return std::nullopt;
+}
+
+bool Client::LoadModelLocked(const std::string& model_name, bool allow_store) {
+  auto it = models_.find(model_name);
+  if (it != models_.end() && it->second.model != nullptr && it->second.featurizer != nullptr) {
+    return true;
+  }
+  auto spec_blob = FetchLocked(SpecKey(model_name), allow_store);
+  auto model_blob = FetchLocked(ModelKey(model_name), allow_store);
+  if (!spec_blob || !model_blob) return false;
+  IngestLocked(SpecKey(model_name), *spec_blob);
+  IngestLocked(ModelKey(model_name), *model_blob);
+  it = models_.find(model_name);
+  return it != models_.end() && it->second.model != nullptr && it->second.featurizer != nullptr;
+}
+
+bool Client::LoadFeaturesLocked(uint64_t subscription_id, bool allow_store) {
+  if (features_.contains(subscription_id)) return true;
+  auto blob = FetchLocked(FeatureKey(subscription_id), allow_store);
+  if (!blob) return false;
+  IngestLocked(FeatureKey(subscription_id), *blob);
+  return features_.contains(subscription_id);
+}
+
+std::vector<std::string> Client::GetAvailableModels() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, entry] : models_) {
+    if (entry.model != nullptr) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Prediction Client::ExecuteLocked(LoadedModel& entry, const ClientInputs& inputs) {
+  auto features_it = features_.find(inputs.subscription_id);
+  SubscriptionFeatures empty;
+  const SubscriptionFeatures* history = nullptr;
+  if (features_it != features_.end()) {
+    history = &features_it->second;
+  } else if (config_.allow_missing_feature_data) {
+    empty.subscription_id = inputs.subscription_id;
+    history = &empty;
+  } else {
+    ++stats_.no_predictions;
+    return Prediction::None();
+  }
+  std::vector<double> row = entry.featurizer->Encode(inputs, *history);
+  ++stats_.model_executions;
+  auto scored = entry.model->PredictScored(row);
+  return Prediction::Of(scored.label, scored.score);
+}
+
+Prediction Client::PredictSingle(const std::string& model_name, const ClientInputs& inputs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t key = inputs.CacheKey(model_name);
+  auto cached = result_cache_.find(key);
+  if (cached != result_cache_.end()) {
+    ++stats_.result_hits;
+    return cached->second;
+  }
+  ++stats_.result_misses;
+
+  const bool pull = config_.mode == CacheMode::kPull;
+  if (pull && config_.pull_never_blocks) {
+    // Never-blocking pull: if either artifact is not already in memory,
+    // answer no-prediction while warming the caches for subsequent requests.
+    // (In production the warm-up happens on a background thread.)
+    auto model_it = models_.find(model_name);
+    bool model_present = model_it != models_.end() && model_it->second.model != nullptr &&
+                         model_it->second.featurizer != nullptr;
+    bool features_present = features_.contains(inputs.subscription_id) ||
+                            config_.allow_missing_feature_data;
+    if (!model_present || !features_present) {
+      LoadModelLocked(model_name, /*allow_store=*/true);
+      LoadFeaturesLocked(inputs.subscription_id, /*allow_store=*/true);
+      ++stats_.no_predictions;
+      return Prediction::None();
+    }
+  } else {
+    bool model_ready = LoadModelLocked(model_name, /*allow_store=*/pull);
+    if (!model_ready) {
+      ++stats_.no_predictions;
+      return Prediction::None();
+    }
+    LoadFeaturesLocked(inputs.subscription_id, /*allow_store=*/pull);
+  }
+  auto model_it = models_.find(model_name);
+  if (model_it == models_.end() || model_it->second.model == nullptr) {
+    ++stats_.no_predictions;
+    return Prediction::None();
+  }
+  Prediction prediction = ExecuteLocked(model_it->second, inputs);
+  if (prediction.valid) {
+    if (result_cache_.size() >= config_.result_cache_capacity) result_cache_.clear();
+    result_cache_.emplace(key, prediction);
+  }
+  return prediction;
+}
+
+std::vector<Prediction> Client::PredictMany(const std::string& model_name,
+                                            std::span<const ClientInputs> inputs) {
+  std::vector<Prediction> out;
+  out.reserve(inputs.size());
+  for (const ClientInputs& in : inputs) out.push_back(PredictSingle(model_name, in));
+  return out;
+}
+
+void Client::ForceReloadCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  result_cache_.clear();
+  if (store_ != nullptr && store_->available()) {
+    models_.clear();
+    features_.clear();
+    LoadAllFromStoreLocked();
+  }
+}
+
+void Client::FlushCache() {
+  std::lock_guard<std::mutex> lock(mu_);
+  result_cache_.clear();
+  models_.clear();
+  features_.clear();
+  known_keys_.clear();
+  if (disk_ != nullptr) disk_->Clear();
+}
+
+ClientStats Client::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace rc::core

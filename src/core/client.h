@@ -1,0 +1,131 @@
+// The Resource Central client library (the paper's "client DLL", Table 2):
+// a thread-safe, in-process prediction server. Given a model name and client
+// inputs it returns a {bucket, confidence} prediction or a no-prediction
+// flag. It caches prediction results (hash of model name + client inputs),
+// models, and per-subscription feature data in memory, mirrors them to a
+// local disk cache with expiry, and supports both caching regimes from the
+// paper:
+//
+//  * push (default): RC pushes new models/feature data; a miss in the memory
+//    caches is answered with no-prediction (e.g. a brand-new subscription).
+//  * pull: misses fetch from the store on demand — either synchronously, or
+//    (paper's configuration for latency-critical clients) returning
+//    no-prediction immediately while the fetch fills the cache for next time.
+//
+// The disk cache is consulted only when the store is unavailable, and never
+// when the entry has expired.
+#ifndef RC_SRC_CORE_CLIENT_H_
+#define RC_SRC_CORE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/featurizer.h"
+#include "src/core/model_spec.h"
+#include "src/core/prediction.h"
+#include "src/ml/classifier.h"
+#include "src/store/disk_cache.h"
+#include "src/store/kv_store.h"
+
+namespace rc::core {
+
+enum class CacheMode { kPush, kPull };
+
+struct ClientConfig {
+  CacheMode mode = CacheMode::kPush;
+  // Pull mode only: return no-prediction on a model/feature-data cache miss
+  // and fill the cache as a side effect, keeping store latency off the
+  // prediction critical path.
+  bool pull_never_blocks = false;
+  // Result-cache entries; when exceeded the cache is flushed (entries are
+  // tiny — a bucket and a score — so the default is generous).
+  size_t result_cache_capacity = 1 << 20;
+  // Serve predictions with an empty history for subscriptions absent from
+  // the feature data (off by default: the paper returns no-prediction).
+  bool allow_missing_feature_data = false;
+  // Local disk cache directory; empty disables the disk cache.
+  std::string disk_cache_dir;
+  int64_t disk_expiry_seconds = 7 * 24 * 3600;
+};
+
+struct ClientStats {
+  uint64_t result_hits = 0;
+  uint64_t result_misses = 0;
+  uint64_t model_executions = 0;
+  uint64_t store_fetches = 0;
+  uint64_t disk_hits = 0;
+  uint64_t no_predictions = 0;
+};
+
+class Client {
+ public:
+  // The store pointer may be null (fully offline client relying on its disk
+  // cache). The store must outlive the client.
+  Client(rc::store::KvStore* store, ClientConfig config);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Loads specs/models/feature data (push mode eagerly; pull mode lazily)
+  // and subscribes to store pushes. Returns true if the client is usable —
+  // which includes a cold pull-mode start with an empty cache.
+  bool Initialize();
+
+  // Names of models currently available to this client.
+  std::vector<std::string> GetAvailableModels() const;
+
+  // One prediction; never throws on missing data — returns no-prediction.
+  Prediction PredictSingle(const std::string& model_name, const ClientInputs& inputs);
+
+  // Batched predictions (Table 2's predict_many).
+  std::vector<Prediction> PredictMany(const std::string& model_name,
+                                      std::span<const ClientInputs> inputs);
+
+  // Refreshes memory and disk caches from the store.
+  void ForceReloadCache();
+
+  // Drops memory and disk caches.
+  void FlushCache();
+
+  ClientStats stats() const;
+
+ private:
+  struct LoadedModel {
+    ModelSpec spec;
+    std::unique_ptr<rc::ml::Classifier> model;
+    std::unique_ptr<Featurizer> featurizer;
+  };
+
+  // All Locked methods require mu_ held.
+  bool LoadModelLocked(const std::string& model_name, bool allow_store);
+  bool LoadFeaturesLocked(uint64_t subscription_id, bool allow_store);
+  std::optional<rc::store::VersionedBlob> FetchLocked(const std::string& key,
+                                                      bool allow_store);
+  void LoadAllFromStoreLocked();
+  void IngestLocked(const std::string& key, const rc::store::VersionedBlob& blob);
+  void PersistIndexLocked();
+  Prediction ExecuteLocked(LoadedModel& model, const ClientInputs& inputs);
+
+  rc::store::KvStore* store_;
+  ClientConfig config_;
+  std::unique_ptr<rc::store::DiskCache> disk_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Prediction> result_cache_;
+  std::unordered_map<std::string, LoadedModel> models_;
+  std::unordered_map<uint64_t, SubscriptionFeatures> features_;
+  std::vector<std::string> known_keys_;  // for disk-index persistence
+  int store_subscription_ = -1;
+  ClientStats stats_;
+};
+
+}  // namespace rc::core
+
+#endif  // RC_SRC_CORE_CLIENT_H_

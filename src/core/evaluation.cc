@@ -1,0 +1,49 @@
+#include "src/core/evaluation.h"
+
+#include <sstream>
+
+namespace rc::core {
+
+MetricQuality EvaluateModel(const rc::ml::Classifier& model, const Featurizer& featurizer,
+                            std::span<const LabeledExample> examples, double theta) {
+  MetricQuality q;
+  q.metric = featurizer.metric();
+  q.theta = theta;
+  const int k = NumBuckets(featurizer.metric());
+  rc::ml::ConfusionMatrix confusion(k);
+  rc::ml::ThresholdedAccumulator thresholded(theta);
+
+  std::vector<double> row(featurizer.num_features());
+  for (const LabeledExample& example : examples) {
+    featurizer.EncodeTo(example.inputs, example.history, row);
+    auto scored = model.PredictScored(row);
+    confusion.Add(example.label, scored.label);
+    thresholded.Add(example.label, scored.label, scored.score);
+  }
+
+  q.examples = confusion.total();
+  q.accuracy = confusion.Accuracy();
+  q.buckets.resize(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    q.buckets[static_cast<size_t>(c)] = BucketQuality{
+        confusion.Prevalence(c), confusion.Precision(c), confusion.Recall(c)};
+  }
+  auto t = thresholded.Result();
+  q.p_theta = t.precision;
+  q.r_theta = t.coverage;
+  return q;
+}
+
+std::string FormatMetricQuality(const MetricQuality& q) {
+  std::ostringstream os;
+  os << MetricName(q.metric) << ": acc=" << q.accuracy;
+  for (size_t b = 0; b < q.buckets.size(); ++b) {
+    const BucketQuality& bq = q.buckets[b];
+    os << " | b" << (b + 1) << " %=" << bq.prevalence << " P=" << bq.precision
+       << " R=" << bq.recall;
+  }
+  os << " | P^t=" << q.p_theta << " R^t=" << q.r_theta << " (n=" << q.examples << ")";
+  return os.str();
+}
+
+}  // namespace rc::core

@@ -1,0 +1,43 @@
+// Prediction-quality evaluation in the shape of Table 4: overall accuracy,
+// per-bucket prevalence / precision / recall, and the confidence-thresholded
+// P-theta / R-theta columns (theta = 0.6 in the paper).
+#ifndef RC_SRC_CORE_EVALUATION_H_
+#define RC_SRC_CORE_EVALUATION_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/buckets.h"
+#include "src/core/featurizer.h"
+#include "src/core/offline_pipeline.h"
+#include "src/ml/classifier.h"
+#include "src/ml/metrics.h"
+
+namespace rc::core {
+
+struct BucketQuality {
+  double prevalence = 0.0;  // fraction of instances truly in this bucket
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+struct MetricQuality {
+  Metric metric = Metric::kAvgCpu;
+  int64_t examples = 0;
+  double accuracy = 0.0;
+  std::vector<BucketQuality> buckets;
+  double p_theta = 0.0;  // accuracy over predictions served at score >= theta
+  double r_theta = 0.0;  // fraction of requests served at score >= theta
+  double theta = 0.6;
+};
+
+MetricQuality EvaluateModel(const rc::ml::Classifier& model, const Featurizer& featurizer,
+                            std::span<const LabeledExample> examples, double theta = 0.6);
+
+// Renders a Table-4-style row block for one metric.
+std::string FormatMetricQuality(const MetricQuality& q);
+
+}  // namespace rc::core
+
+#endif  // RC_SRC_CORE_EVALUATION_H_

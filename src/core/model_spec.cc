@@ -1,0 +1,46 @@
+#include "src/core/model_spec.h"
+
+#include <cstdlib>
+
+namespace rc::core {
+
+std::vector<uint8_t> ModelSpec::Serialize() const {
+  rc::ml::ByteWriter w;
+  w.String(name);
+  w.I32(static_cast<int32_t>(metric));
+  w.I32(static_cast<int32_t>(encoding));
+  w.String(model_family);
+  w.U32(num_features);
+  w.U64(version);
+  return w.TakeBytes();
+}
+
+ModelSpec ModelSpec::Deserialize(const std::vector<uint8_t>& bytes) {
+  rc::ml::ByteReader r(bytes);
+  ModelSpec spec;
+  spec.name = r.String();
+  spec.metric = static_cast<Metric>(r.I32());
+  spec.encoding = static_cast<FeatureEncoding>(r.I32());
+  spec.model_family = r.String();
+  spec.num_features = r.U32();
+  spec.version = r.U64();
+  return spec;
+}
+
+std::string SpecKey(const std::string& model_name) { return kSpecKeyPrefix + model_name; }
+
+std::string ModelKey(const std::string& model_name) { return kModelKeyPrefix + model_name; }
+
+std::string FeatureKey(uint64_t subscription_id) {
+  return kFeatureKeyPrefix + std::to_string(subscription_id);
+}
+
+bool ParseFeatureKey(const std::string& key, uint64_t& subscription_id) {
+  constexpr size_t kPrefixLen = sizeof(kFeatureKeyPrefix) - 1;
+  if (key.compare(0, kPrefixLen, kFeatureKeyPrefix) != 0) return false;
+  char* end = nullptr;
+  subscription_id = std::strtoull(key.c_str() + kPrefixLen, &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace rc::core

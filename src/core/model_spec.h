@@ -1,0 +1,44 @@
+// Published model metadata. The paper's data analysts record, alongside each
+// model, a "specification" describing the model's inputs; the client DLL
+// reads it to interpret client inputs. The spec pins the metric, feature
+// encoding, model family, and version, and is stored next to the model bytes.
+#ifndef RC_SRC_CORE_MODEL_SPEC_H_
+#define RC_SRC_CORE_MODEL_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/buckets.h"
+#include "src/core/featurizer.h"
+#include "src/ml/bytes.h"
+
+namespace rc::core {
+
+struct ModelSpec {
+  std::string name;  // e.g. "VM_P95UTIL"
+  Metric metric = Metric::kAvgCpu;
+  FeatureEncoding encoding = FeatureEncoding::kCompact;
+  std::string model_family;  // "random_forest" | "gbt"
+  uint32_t num_features = 0;
+  uint64_t version = 0;
+
+  std::vector<uint8_t> Serialize() const;
+  static ModelSpec Deserialize(const std::vector<uint8_t>& bytes);
+};
+
+// Store key conventions shared by the offline pipeline and the client.
+inline constexpr char kSpecKeyPrefix[] = "spec/";
+inline constexpr char kModelKeyPrefix[] = "model/";
+inline constexpr char kFeatureKeyPrefix[] = "features/";
+
+std::string SpecKey(const std::string& model_name);
+std::string ModelKey(const std::string& model_name);
+std::string FeatureKey(uint64_t subscription_id);
+// Parses a subscription id back out of a feature key; returns false if the
+// key is not a feature key.
+bool ParseFeatureKey(const std::string& key, uint64_t& subscription_id);
+
+}  // namespace rc::core
+
+#endif  // RC_SRC_CORE_MODEL_SPEC_H_

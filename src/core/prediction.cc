@@ -1,0 +1,35 @@
+#include "src/core/prediction.h"
+
+#include <stdexcept>
+
+#include "src/common/hashing.h"
+
+namespace rc::core {
+
+double UtilizationBucketValue(int bucket, BucketValuePolicy policy) {
+  BucketRange range = UtilizationBucketRange(bucket);
+  switch (policy) {
+    case BucketValuePolicy::kLow: return range.lo;
+    case BucketValuePolicy::kMid: return (range.lo + range.hi) / 2.0;
+    case BucketValuePolicy::kHigh: return range.hi;
+  }
+  throw std::invalid_argument("UtilizationBucketValue: bad policy");
+}
+
+uint64_t ClientInputs::CacheKey(std::string_view model_name) const {
+  uint64_t h = Fnv1a(model_name);
+  h = HashCombine(h, HashU64(subscription_id));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(vm_type)));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(guest_os)));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(role)));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(cores)));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(memory_gb * 100.0)));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(size_index)));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(region)));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(deploy_hour)));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(deploy_dow)));
+  h = HashCombine(h, HashU64(static_cast<uint64_t>(service_id)));
+  return h;
+}
+
+}  // namespace rc::core

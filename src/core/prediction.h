@@ -1,0 +1,53 @@
+// Prediction types and client inputs for the RC client library (Table 2 of
+// the paper). A prediction is a bucket plus a confidence score; clients must
+// handle the no-prediction case (e.g. unknown subscription, low confidence,
+// store outage at cold start).
+#ifndef RC_SRC_CORE_PREDICTION_H_
+#define RC_SRC_CORE_PREDICTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/buckets.h"
+
+namespace rc::core {
+
+struct Prediction {
+  bool valid = false;  // false => no-prediction
+  int bucket = -1;
+  double score = 0.0;  // model confidence in [0, 1]
+
+  static Prediction None() { return Prediction{}; }
+  static Prediction Of(int bucket, double score) { return Prediction{true, bucket, score}; }
+};
+
+// Which end of the predicted bucket to use when a client needs a number
+// (paper Section 4.2).
+enum class BucketValuePolicy { kLow, kMid, kHigh };
+// Converts a utilization bucket to a fraction per the policy.
+double UtilizationBucketValue(int bucket, BucketValuePolicy policy);
+
+// The information a client passes alongside a model name (paper: subscription
+// id, VM type and size, deployment size/time, ...). Everything RC knows about
+// a VM at prediction time.
+struct ClientInputs {
+  uint64_t subscription_id = 0;
+  int vm_type = 0;   // 0 = IaaS, 1 = PaaS
+  int guest_os = 0;  // 0 = Linux, 1 = Windows
+  int role = 0;      // 0 = IaaS, 1..4 = PaaS roles
+  int cores = 1;
+  double memory_gb = 1.75;
+  int size_index = 0;  // index into the VM size catalog
+  int region = 0;
+  int deploy_hour = 0;  // hour-of-day at deployment
+  int deploy_dow = 0;   // day-of-week at deployment
+  int service_id = 0;   // 0 = "unknown", 1..N = top first-party services
+
+  // Stable 64-bit key for the client result cache: hash(model name, inputs).
+  uint64_t CacheKey(std::string_view model_name) const;
+};
+
+}  // namespace rc::core
+
+#endif  // RC_SRC_CORE_PREDICTION_H_

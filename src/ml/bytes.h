@@ -1,0 +1,113 @@
+// Little-endian framed binary serialization used for ML models and feature
+// data. Model bytes flow through the RC store, the client caches, and the
+// on-disk cache, and Table 1 reports model sizes, so serialization is part of
+// the system, not a debugging convenience.
+#ifndef RC_SRC_ML_BYTES_H_
+#define RC_SRC_ML_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace rc::ml {
+
+class ByteWriter {
+ public:
+  template <typename T>
+  void Pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    size_t off = buf_.size();
+    buf_.resize(off + sizeof(T));
+    std::memcpy(buf_.data() + off, &v, sizeof(T));
+  }
+
+  void U32(uint32_t v) { Pod(v); }
+  void U64(uint64_t v) { Pod(v); }
+  void I32(int32_t v) { Pod(v); }
+  void F64(double v) { Pod(v); }
+  void F32(float v) { Pod(v); }
+
+  void String(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    size_t off = buf_.size();
+    buf_.resize(off + s.size());
+    std::memcpy(buf_.data() + off, s.data(), s.size());
+  }
+
+  template <typename T>
+  void PodVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    U32(static_cast<uint32_t>(v.size()));
+    size_t off = buf_.size();
+    buf_.resize(off + v.size() * sizeof(T));
+    std::memcpy(buf_.data() + off, v.data(), v.size() * sizeof(T));
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> TakeBytes() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf) : data_(buf.data()), size_(buf.size()) {}
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  T Pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Require(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  uint32_t U32() { return Pod<uint32_t>(); }
+  uint64_t U64() { return Pod<uint64_t>(); }
+  int32_t I32() { return Pod<int32_t>(); }
+  double F64() { return Pod<double>(); }
+  float F32() { return Pod<float>(); }
+
+  std::string String() {
+    uint32_t n = U32();
+    Require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> PodVector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint32_t n = U32();
+    Require(static_cast<size_t>(n) * sizeof(T));
+    std::vector<T> v(n);
+    std::memcpy(v.data(), data_ + pos_, static_cast<size_t>(n) * sizeof(T));
+    pos_ += static_cast<size_t>(n) * sizeof(T);
+    return v;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void Require(size_t n) const {
+    if (pos_ + n > size_) throw std::runtime_error("ByteReader: truncated input");
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rc::ml
+
+#endif  // RC_SRC_ML_BYTES_H_

@@ -1,0 +1,38 @@
+#include "src/ml/classifier.h"
+
+#include <stdexcept>
+
+#include "src/ml/gbt.h"
+#include "src/ml/random_forest.h"
+
+namespace rc::ml {
+
+Classifier::Scored Classifier::PredictScored(std::span<const double> x) const {
+  std::vector<double> probs = PredictProba(x);
+  int best = 0;
+  for (int c = 1; c < static_cast<int>(probs.size()); ++c) {
+    if (probs[static_cast<size_t>(c)] > probs[static_cast<size_t>(best)]) best = c;
+  }
+  return Scored{best, probs[static_cast<size_t>(best)]};
+}
+
+std::vector<uint8_t> Classifier::SerializeTagged() const {
+  ByteWriter w;
+  w.String(type_name());
+  Serialize(w);
+  return w.TakeBytes();
+}
+
+std::unique_ptr<Classifier> Classifier::DeserializeTagged(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  std::string tag = r.String();
+  if (tag == "random_forest") {
+    return std::make_unique<RandomForest>(RandomForest::Deserialize(r));
+  }
+  if (tag == "gbt") {
+    return std::make_unique<GradientBoostedTrees>(GradientBoostedTrees::Deserialize(r));
+  }
+  throw std::runtime_error("Classifier::DeserializeTagged: unknown type " + tag);
+}
+
+}  // namespace rc::ml

@@ -1,0 +1,50 @@
+// Abstract classification-model interface plus the serialization registry.
+// Resource Central is agnostic to the modeling approach (paper Section 4.2);
+// everything downstream — the model store, the client DLL, the scheduler —
+// programs against this interface.
+#ifndef RC_SRC_ML_CLASSIFIER_H_
+#define RC_SRC_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/ml/bytes.h"
+
+namespace rc::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual int num_classes() const = 0;
+  virtual int num_features() const = 0;
+
+  // Class-probability vector for one example (size num_classes).
+  virtual std::vector<double> PredictProba(std::span<const double> x) const = 0;
+
+  // Convenience: argmax class plus its probability (the "confidence score"
+  // RC attaches to every prediction).
+  struct Scored {
+    int label;
+    double score;
+  };
+  Scored PredictScored(std::span<const double> x) const;
+
+  // Gain-based feature importance, summed over the ensemble; empty if the
+  // model was deserialized without importances.
+  virtual std::vector<double> FeatureImportance() const { return {}; }
+
+  // Type tag used by the registry ("random_forest", "gbt").
+  virtual const char* type_name() const = 0;
+  virtual void Serialize(ByteWriter& w) const = 0;
+
+  // Serializes with a type tag prefix so Deserialize can dispatch.
+  std::vector<uint8_t> SerializeTagged() const;
+  static std::unique_ptr<Classifier> DeserializeTagged(const std::vector<uint8_t>& bytes);
+};
+
+}  // namespace rc::ml
+
+#endif  // RC_SRC_ML_CLASSIFIER_H_

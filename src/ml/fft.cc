@@ -1,0 +1,69 @@
+#include "src/ml/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace rc::ml {
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>& a, bool inverse) {
+  const size_t n = a.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("Fft: size must be a nonzero power of two");
+  }
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1.0 : -1.0);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        std::complex<double> u = a[i + j];
+        std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : a) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<double> PowerSpectrum(std::span<const double> signal, bool hann_window) {
+  if (signal.empty()) return {};
+  const size_t n = signal.size();
+  double mean = 0.0;
+  for (double v : signal) mean += v;
+  mean /= static_cast<double>(n);
+
+  size_t padded = NextPow2(n);
+  std::vector<std::complex<double>> a(padded, {0.0, 0.0});
+  for (size_t i = 0; i < n; ++i) {
+    double w = 1.0;
+    if (hann_window) {
+      w = 0.5 * (1.0 - std::cos(2.0 * std::numbers::pi * static_cast<double>(i) /
+                                static_cast<double>(n - 1 == 0 ? 1 : n - 1)));
+    }
+    a[i] = {(signal[i] - mean) * w, 0.0};
+  }
+  Fft(a);
+  std::vector<double> power(padded / 2 + 1);
+  for (size_t k = 0; k < power.size(); ++k) power[k] = std::norm(a[k]);
+  return power;
+}
+
+}  // namespace rc::ml

@@ -1,0 +1,33 @@
+// Radix-2 iterative FFT plus the spectral helpers used by the workload-class
+// detector (paper Section 3.6: find diurnal periodicity in the average-CPU
+// time series with the FFT).
+#ifndef RC_SRC_ML_FFT_H_
+#define RC_SRC_ML_FFT_H_
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rc::ml {
+
+// In-place FFT; `a.size()` must be a power of two. `inverse` applies the
+// 1/N-scaled inverse transform.
+void Fft(std::vector<std::complex<double>>& a, bool inverse = false);
+
+// Smallest power of two >= n (n >= 1).
+size_t NextPow2(size_t n);
+
+// One-sided power spectrum of a real signal: mean-removed, optionally
+// Hann-windowed, zero-padded to a power of two. Entry k is |X_k|^2 for
+// k = 0..N/2; the DC term is ~0 after mean removal.
+std::vector<double> PowerSpectrum(std::span<const double> signal, bool hann_window = true);
+
+// Frequency (cycles per sample) of spectrum bin k for an N-point transform.
+inline double BinFrequency(size_t k, size_t n) {
+  return static_cast<double>(k) / static_cast<double>(n);
+}
+
+}  // namespace rc::ml
+
+#endif  // RC_SRC_ML_FFT_H_

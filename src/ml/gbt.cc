@@ -1,0 +1,178 @@
+#include "src/ml/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rc::ml {
+
+namespace {
+
+void Softmax(std::span<const double> logits, std::span<double> out) {
+  double m = logits[0];
+  for (double v : logits) m = std::max(m, v);
+  double sum = 0.0;
+  for (size_t c = 0; c < logits.size(); ++c) {
+    out[c] = std::exp(logits[c] - m);
+    sum += out[c];
+  }
+  for (size_t c = 0; c < logits.size(); ++c) out[c] /= sum;
+}
+
+double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+GradientBoostedTrees GradientBoostedTrees::Fit(const Dataset& data, const GbtConfig& config) {
+  if (data.num_rows() == 0) throw std::invalid_argument("GBT::Fit: empty data");
+  GradientBoostedTrees model;
+  model.num_classes_ = data.NumClasses();
+  model.num_features_ = static_cast<int>(data.num_features());
+  model.learning_rate_ = config.learning_rate;
+  const int k = model.num_classes_;
+  const size_t n = data.num_rows();
+  if (k < 2) throw std::invalid_argument("GBT::Fit: need at least 2 classes");
+
+  FeatureBinner binner = FeatureBinner::Fit(data, config.max_bins);
+  std::vector<uint8_t> bins = binner.Transform(data);
+  BinnedView view{bins.data(), n, data.num_features(), &binner};
+
+  // Base score from class priors (clamped away from 0 to keep logits finite).
+  std::vector<double> prior(static_cast<size_t>(k), 0.0);
+  for (int label : data.labels()) prior[static_cast<size_t>(label)] += 1.0;
+  for (double& p : prior) p = std::max(p / static_cast<double>(n), 1e-4);
+  const bool binary = (k == 2);
+  if (binary) {
+    model.base_score_ = {std::log(prior[1] / prior[0])};
+  } else {
+    model.base_score_.resize(static_cast<size_t>(k));
+    for (int c = 0; c < k; ++c) model.base_score_[static_cast<size_t>(c)] = std::log(prior[static_cast<size_t>(c)]);
+  }
+
+  // Running raw scores per row (binary: single logit; multiclass: k logits).
+  const size_t score_width = binary ? 1 : static_cast<size_t>(k);
+  std::vector<double> scores(n * score_width);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < score_width; ++c) scores[i * score_width + c] = model.base_score_[c];
+  }
+
+  if (!config.class_weights.empty() &&
+      config.class_weights.size() != static_cast<size_t>(k)) {
+    throw std::invalid_argument("GBT::Fit: class_weights size mismatch");
+  }
+  auto weight_of = [&](int label) {
+    return config.class_weights.empty() ? 1.0
+                                        : config.class_weights[static_cast<size_t>(label)];
+  };
+
+  Rng rng(config.seed);
+  std::vector<double> grad(n), hess(n);
+  std::vector<uint32_t> rows;
+  rows.reserve(n);
+  std::vector<double> probs(static_cast<size_t>(k));
+
+  for (int round = 0; round < config.num_rounds; ++round) {
+    // Row subsample for this round (shared across the per-class trees).
+    rows.clear();
+    if (config.subsample >= 1.0) {
+      rows.resize(n);
+      std::iota(rows.begin(), rows.end(), 0u);
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.Bernoulli(config.subsample)) rows.push_back(static_cast<uint32_t>(i));
+      }
+      if (rows.empty()) rows.push_back(static_cast<uint32_t>(rng.UniformInt(
+          0, static_cast<int64_t>(n) - 1)));
+    }
+
+    if (binary) {
+      for (size_t i = 0; i < n; ++i) {
+        double p = Sigmoid(scores[i]);
+        double y = data.Label(i) == 1 ? 1.0 : 0.0;
+        double w = weight_of(data.Label(i));
+        grad[i] = w * (p - y);
+        hess[i] = std::max(w * p * (1.0 - p), 1e-9);
+      }
+      DecisionTree tree =
+          DecisionTree::FitRegressor(view, grad, hess, rows, config.tree, rng);
+      for (size_t i = 0; i < n; ++i) {
+        scores[i] += config.learning_rate * tree.PredictValue(data.Row(i));
+      }
+      model.trees_.push_back(std::move(tree));
+    } else {
+      for (int c = 0; c < k; ++c) {
+        for (size_t i = 0; i < n; ++i) {
+          Softmax({&scores[i * score_width], score_width}, probs);
+          double p = probs[static_cast<size_t>(c)];
+          double y = data.Label(i) == c ? 1.0 : 0.0;
+          double w = weight_of(data.Label(i));
+          grad[i] = w * (p - y);
+          hess[i] = std::max(w * p * (1.0 - p), 1e-9);
+        }
+        DecisionTree tree =
+            DecisionTree::FitRegressor(view, grad, hess, rows, config.tree, rng);
+        for (size_t i = 0; i < n; ++i) {
+          scores[i * score_width + static_cast<size_t>(c)] +=
+              config.learning_rate * tree.PredictValue(data.Row(i));
+        }
+        model.trees_.push_back(std::move(tree));
+      }
+    }
+  }
+  return model;
+}
+
+std::vector<double> GradientBoostedTrees::PredictProba(std::span<const double> x) const {
+  const bool binary = (num_classes_ == 2);
+  if (binary) {
+    double z = base_score_[0];
+    for (const auto& tree : trees_) z += learning_rate_ * tree.PredictValue(x);
+    double p1 = Sigmoid(z);
+    return {1.0 - p1, p1};
+  }
+  std::vector<double> logits(base_score_);
+  const size_t k = static_cast<size_t>(num_classes_);
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    logits[t % k] += learning_rate_ * trees_[t].PredictValue(x);
+  }
+  std::vector<double> probs(k);
+  Softmax(logits, probs);
+  return probs;
+}
+
+std::vector<double> GradientBoostedTrees::FeatureImportance() const {
+  std::vector<double> acc(static_cast<size_t>(num_features_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto& gains = tree.gain_importance();
+    for (size_t f = 0; f < gains.size() && f < acc.size(); ++f) acc[f] += gains[f];
+  }
+  double total = std::accumulate(acc.begin(), acc.end(), 0.0);
+  if (total > 0.0) {
+    for (double& v : acc) v /= total;
+  }
+  return acc;
+}
+
+void GradientBoostedTrees::Serialize(ByteWriter& w) const {
+  w.I32(num_classes_);
+  w.I32(num_features_);
+  w.F64(learning_rate_);
+  w.PodVector(base_score_);
+  w.U32(static_cast<uint32_t>(trees_.size()));
+  for (const auto& tree : trees_) tree.Serialize(w);
+}
+
+GradientBoostedTrees GradientBoostedTrees::Deserialize(ByteReader& r) {
+  GradientBoostedTrees model;
+  model.num_classes_ = r.I32();
+  model.num_features_ = r.I32();
+  model.learning_rate_ = r.F64();
+  model.base_score_ = r.PodVector<double>();
+  uint32_t n = r.U32();
+  model.trees_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) model.trees_.push_back(DecisionTree::Deserialize(r));
+  return model;
+}
+
+}  // namespace rc::ml

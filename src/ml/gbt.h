@@ -1,0 +1,58 @@
+// Extreme Gradient Boosting Trees: Newton boosting with softmax (K > 2) or
+// logistic (K == 2) loss, shrinkage, row subsampling, and L2-regularized leaf
+// values. The paper uses boosted trees for deployment size, lifetime, and
+// workload class (Table 1).
+#ifndef RC_SRC_ML_GBT_H_
+#define RC_SRC_ML_GBT_H_
+
+#include <span>
+#include <vector>
+
+#include "src/ml/classifier.h"
+#include "src/ml/dataset.h"
+#include "src/ml/tree.h"
+
+namespace rc::ml {
+
+struct GbtConfig {
+  int num_rounds = 60;
+  double learning_rate = 0.2;
+  TreeConfig tree = {.max_depth = 6, .min_samples_leaf = 8, .lambda = 1.0};
+  double subsample = 0.8;  // row subsample per round (without replacement)
+  // Per-class loss weights (empty = uniform). Upweighting a rare class
+  // boosts its recall at the cost of precision — exactly the tradeoff the
+  // paper makes for the interactive workload class ("mistakes in this
+  // direction are acceptable").
+  std::vector<double> class_weights;
+  uint64_t seed = 1;
+  int max_bins = 64;
+};
+
+class GradientBoostedTrees final : public Classifier {
+ public:
+  static GradientBoostedTrees Fit(const Dataset& data, const GbtConfig& config);
+
+  int num_classes() const override { return num_classes_; }
+  int num_features() const override { return num_features_; }
+  std::vector<double> PredictProba(std::span<const double> x) const override;
+  std::vector<double> FeatureImportance() const override;
+
+  size_t tree_count() const { return trees_.size(); }
+
+  const char* type_name() const override { return "gbt"; }
+  void Serialize(ByteWriter& w) const override;
+  static GradientBoostedTrees Deserialize(ByteReader& r);
+
+ private:
+  // K == 2: one tree per round (logistic); K > 2: K trees per round
+  // (softmax), stored round-major.
+  std::vector<DecisionTree> trees_;
+  std::vector<double> base_score_;  // per-class prior log-odds / logits
+  int num_classes_ = 0;
+  int num_features_ = 0;
+  double learning_rate_ = 0.2;
+};
+
+}  // namespace rc::ml
+
+#endif  // RC_SRC_ML_GBT_H_

@@ -1,0 +1,84 @@
+#include "src/ml/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rc::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes) : k_(num_classes) {
+  if (num_classes < 2) throw std::invalid_argument("ConfusionMatrix: need >= 2 classes");
+  m_.assign(static_cast<size_t>(k_) * static_cast<size_t>(k_), 0);
+}
+
+void ConfusionMatrix::Add(int true_label, int predicted_label) {
+  if (true_label < 0 || true_label >= k_ || predicted_label < 0 || predicted_label >= k_) {
+    throw std::out_of_range("ConfusionMatrix::Add: label out of range");
+  }
+  m_[static_cast<size_t>(true_label) * static_cast<size_t>(k_) +
+     static_cast<size_t>(predicted_label)] += 1;
+  ++total_;
+}
+
+int64_t ConfusionMatrix::count(int true_label, int predicted_label) const {
+  return m_[static_cast<size_t>(true_label) * static_cast<size_t>(k_) +
+            static_cast<size_t>(predicted_label)];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  int64_t correct = 0;
+  for (int c = 0; c < k_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Prevalence(int c) const {
+  if (total_ == 0) return 0.0;
+  int64_t actual = 0;
+  for (int p = 0; p < k_; ++p) actual += count(c, p);
+  return static_cast<double>(actual) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(int c) const {
+  int64_t predicted = 0;
+  for (int t = 0; t < k_; ++t) predicted += count(t, c);
+  if (predicted == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(predicted);
+}
+
+double ConfusionMatrix::Recall(int c) const {
+  int64_t actual = 0;
+  for (int p = 0; p < k_; ++p) actual += count(c, p);
+  if (actual == 0) return 0.0;
+  return static_cast<double>(count(c, c)) / static_cast<double>(actual);
+}
+
+void ThresholdedAccumulator::Add(int true_label, int predicted_label, double score) {
+  ++total_;
+  if (score < theta_) return;
+  ++served_;
+  if (true_label == predicted_label) ++correct_;
+}
+
+ThresholdedQuality ThresholdedAccumulator::Result() const {
+  ThresholdedQuality q;
+  q.total = total_;
+  q.served = served_;
+  q.precision = served_ > 0 ? static_cast<double>(correct_) / static_cast<double>(served_) : 0.0;
+  q.coverage = total_ > 0 ? static_cast<double>(served_) / static_cast<double>(total_) : 0.0;
+  return q;
+}
+
+double LogLoss(const std::vector<std::vector<double>>& probs, const std::vector<int>& labels) {
+  if (probs.size() != labels.size() || probs.empty()) {
+    throw std::invalid_argument("LogLoss: size mismatch or empty");
+  }
+  double loss = 0.0;
+  for (size_t i = 0; i < probs.size(); ++i) {
+    double p = probs[i][static_cast<size_t>(labels[i])];
+    loss -= std::log(std::max(p, 1e-15));
+  }
+  return loss / static_cast<double>(probs.size());
+}
+
+}  // namespace rc::ml

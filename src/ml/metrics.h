@@ -1,0 +1,70 @@
+// Classification quality metrics in the exact form Table 4 reports them:
+// overall accuracy, per-bucket prevalence / precision / recall, and the
+// confidence-thresholded P-theta / R-theta columns (predictions whose top
+// score falls below theta become no-predictions).
+#ifndef RC_SRC_ML_METRICS_H_
+#define RC_SRC_ML_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rc::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void Add(int true_label, int predicted_label);
+
+  int num_classes() const { return k_; }
+  int64_t total() const { return total_; }
+  int64_t count(int true_label, int predicted_label) const;
+
+  double Accuracy() const;
+  // Fraction of instances whose true label is c (the "%" columns of Table 4).
+  double Prevalence(int c) const;
+  // True positives / predicted positives for class c; 0 if none predicted.
+  double Precision(int c) const;
+  // True positives / actual positives for class c; 0 if none actual.
+  double Recall(int c) const;
+
+ private:
+  int k_;
+  int64_t total_ = 0;
+  std::vector<int64_t> m_;  // row-major [true][pred]
+};
+
+// Confidence-thresholded aggregate quality. Following the paper's usage, a
+// prediction is served only if its top bucket score >= theta; otherwise the
+// client receives a no-prediction. P-theta is the accuracy over served
+// predictions; R-theta is the fraction of requests that received a served
+// prediction (coverage) — "high precision without substantially hurting
+// recall".
+struct ThresholdedQuality {
+  double precision = 0.0;  // correct / served
+  double coverage = 0.0;   // served / total
+  int64_t served = 0;
+  int64_t total = 0;
+};
+
+class ThresholdedAccumulator {
+ public:
+  explicit ThresholdedAccumulator(double theta) : theta_(theta) {}
+
+  void Add(int true_label, int predicted_label, double score);
+  ThresholdedQuality Result() const;
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  int64_t total_ = 0;
+  int64_t served_ = 0;
+  int64_t correct_ = 0;
+};
+
+// Multiclass log loss (cross-entropy) given per-instance probability rows.
+double LogLoss(const std::vector<std::vector<double>>& probs, const std::vector<int>& labels);
+
+}  // namespace rc::ml
+
+#endif  // RC_SRC_ML_METRICS_H_

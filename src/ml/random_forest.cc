@@ -1,0 +1,114 @@
+#include "src/ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+
+namespace rc::ml {
+
+RandomForest RandomForest::Fit(const Dataset& data, const RandomForestConfig& config) {
+  if (data.num_rows() == 0) throw std::invalid_argument("RandomForest::Fit: empty data");
+  RandomForest forest;
+  forest.num_classes_ = data.NumClasses();
+  forest.num_features_ = static_cast<int>(data.num_features());
+
+  FeatureBinner binner = FeatureBinner::Fit(data, config.max_bins);
+  std::vector<uint8_t> bins = binner.Transform(data);
+  BinnedView view{bins.data(), data.num_rows(), data.num_features(), &binner};
+
+  TreeConfig tree_config = config.tree;
+  tree_config.max_features =
+      config.max_features > 0
+          ? config.max_features
+          : std::max(1, static_cast<int>(std::sqrt(static_cast<double>(data.num_features()))));
+
+  size_t sample_size = std::max<size_t>(
+      1, static_cast<size_t>(config.bagging_fraction * static_cast<double>(data.num_rows())));
+
+  forest.trees_.resize(static_cast<size_t>(config.num_trees));
+  // Pre-derive one RNG per tree so results are independent of thread count.
+  std::vector<uint64_t> seeds(forest.trees_.size());
+  {
+    Rng seeder(config.seed);
+    for (auto& s : seeds) s = seeder.NextU64();
+  }
+
+  auto train_range = [&](size_t begin, size_t end) {
+    std::vector<uint32_t> rows(sample_size);
+    for (size_t t = begin; t < end; ++t) {
+      Rng rng(seeds[t]);
+      for (auto& row : rows) {
+        row = static_cast<uint32_t>(
+            rng.UniformInt(0, static_cast<int64_t>(data.num_rows()) - 1));
+      }
+      forest.trees_[t] = DecisionTree::FitClassifier(view, data.labels(), rows,
+                                                     forest.num_classes_, tree_config, rng);
+    }
+  };
+
+  unsigned hw = std::thread::hardware_concurrency();
+  size_t threads = config.num_threads > 0
+                       ? static_cast<size_t>(config.num_threads)
+                       : std::min<size_t>(hw == 0 ? 1 : hw, 8);
+  threads = std::min(threads, forest.trees_.size());
+  if (threads <= 1) {
+    train_range(0, forest.trees_.size());
+  } else {
+    std::vector<std::thread> workers;
+    size_t per = (forest.trees_.size() + threads - 1) / threads;
+    for (size_t w = 0; w < threads; ++w) {
+      size_t begin = w * per;
+      size_t end = std::min(forest.trees_.size(), begin + per);
+      if (begin >= end) break;
+      workers.emplace_back(train_range, begin, end);
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  return forest;
+}
+
+std::vector<double> RandomForest::PredictProba(std::span<const double> x) const {
+  std::vector<double> acc(static_cast<size_t>(num_classes_), 0.0);
+  std::vector<double> one(static_cast<size_t>(num_classes_));
+  for (const auto& tree : trees_) {
+    tree.PredictProba(x, one);
+    for (size_t c = 0; c < acc.size(); ++c) acc[c] += one[c];
+  }
+  double inv = trees_.empty() ? 0.0 : 1.0 / static_cast<double>(trees_.size());
+  for (double& v : acc) v *= inv;
+  return acc;
+}
+
+std::vector<double> RandomForest::FeatureImportance() const {
+  std::vector<double> acc(static_cast<size_t>(num_features_), 0.0);
+  for (const auto& tree : trees_) {
+    const auto& gains = tree.gain_importance();
+    for (size_t f = 0; f < gains.size() && f < acc.size(); ++f) acc[f] += gains[f];
+  }
+  double total = 0.0;
+  for (double v : acc) total += v;
+  if (total > 0.0) {
+    for (double& v : acc) v /= total;
+  }
+  return acc;
+}
+
+void RandomForest::Serialize(ByteWriter& w) const {
+  w.I32(num_classes_);
+  w.I32(num_features_);
+  w.U32(static_cast<uint32_t>(trees_.size()));
+  for (const auto& tree : trees_) tree.Serialize(w);
+}
+
+RandomForest RandomForest::Deserialize(ByteReader& r) {
+  RandomForest forest;
+  forest.num_classes_ = r.I32();
+  forest.num_features_ = r.I32();
+  uint32_t n = r.U32();
+  forest.trees_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) forest.trees_.push_back(DecisionTree::Deserialize(r));
+  return forest;
+}
+
+}  // namespace rc::ml

@@ -1,0 +1,54 @@
+// Random Forest classifier: bagged Gini CART trees with per-node feature
+// subsampling. The paper uses Random Forests for the two CPU-utilization
+// metrics (Table 1).
+#ifndef RC_SRC_ML_RANDOM_FOREST_H_
+#define RC_SRC_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/ml/classifier.h"
+#include "src/ml/dataset.h"
+#include "src/ml/tree.h"
+
+namespace rc::ml {
+
+struct RandomForestConfig {
+  int num_trees = 48;
+  TreeConfig tree = {.max_depth = 14, .min_samples_leaf = 4};
+  // Bootstrap sample size as a fraction of the training set (with
+  // replacement).
+  double bagging_fraction = 1.0;
+  // Per-node feature subsample; 0 means sqrt(num_features).
+  int max_features = 0;
+  uint64_t seed = 1;
+  int num_threads = 0;  // 0 = hardware concurrency (capped)
+  int max_bins = 64;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  static RandomForest Fit(const Dataset& data, const RandomForestConfig& config);
+
+  int num_classes() const override { return num_classes_; }
+  int num_features() const override { return num_features_; }
+  std::vector<double> PredictProba(std::span<const double> x) const override;
+  std::vector<double> FeatureImportance() const override;
+
+  size_t tree_count() const { return trees_.size(); }
+  const DecisionTree& tree(size_t i) const { return trees_[i]; }
+
+  const char* type_name() const override { return "random_forest"; }
+  void Serialize(ByteWriter& w) const override;
+  static RandomForest Deserialize(ByteReader& r);
+
+ private:
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+  int num_features_ = 0;
+};
+
+}  // namespace rc::ml
+
+#endif  // RC_SRC_ML_RANDOM_FOREST_H_

@@ -1,0 +1,367 @@
+#include "src/ml/tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rc::ml {
+
+namespace {
+constexpr int kMaxBins = 256;
+}  // namespace
+
+// Shared training machinery for both tree modes. Rows live in one index
+// buffer that is partitioned in place as the tree grows.
+class TreeTrainer {
+ public:
+  TreeTrainer(const BinnedView& data, const TreeConfig& config, Rng& rng)
+      : data_(data), config_(config), rng_(rng) {
+    if (data_.binner == nullptr || data_.bins == nullptr) {
+      throw std::invalid_argument("TreeTrainer: null binned view");
+    }
+    feature_scratch_.resize(data_.features);
+    std::iota(feature_scratch_.begin(), feature_scratch_.end(), 0u);
+  }
+
+  DecisionTree TrainClassifier(std::span<const int> labels,
+                               std::span<const uint32_t> row_indices, int num_classes) {
+    labels_ = labels;
+    num_classes_ = num_classes;
+    tree_.num_classes_ = num_classes;
+    tree_.gain_importance_.assign(data_.features, 0.0);
+    idx_.assign(row_indices.begin(), row_indices.end());
+    BuildNode(0, idx_.size(), 0);
+    return std::move(tree_);
+  }
+
+  DecisionTree TrainRegressor(std::span<const double> grad, std::span<const double> hess,
+                              std::span<const uint32_t> row_indices) {
+    grad_ = grad;
+    hess_ = hess;
+    num_classes_ = 0;
+    tree_.num_classes_ = 0;
+    tree_.gain_importance_.assign(data_.features, 0.0);
+    idx_.assign(row_indices.begin(), row_indices.end());
+    BuildNode(0, idx_.size(), 0);
+    return std::move(tree_);
+  }
+
+ private:
+  struct Split {
+    bool found = false;
+    size_t feature = 0;
+    int bin = 0;  // go left iff Bin(row, feature) <= bin
+    double gain = 0.0;
+  };
+
+  bool IsClassification() const { return num_classes_ > 0; }
+
+  // Builds the subtree over idx_[begin, end); returns its node index.
+  int32_t BuildNode(size_t begin, size_t end, int depth) {
+    size_t n = end - begin;
+    int32_t node_id = static_cast<int32_t>(tree_.nodes_.size());
+    tree_.nodes_.emplace_back();
+
+    Split split;
+    if (depth < config_.max_depth &&
+        n >= 2 * static_cast<size_t>(config_.min_samples_leaf)) {
+      split = FindBestSplit(begin, end);
+    }
+    if (!split.found) {
+      MakeLeaf(node_id, begin, end);
+      return node_id;
+    }
+
+    tree_.gain_importance_[split.feature] += split.gain;
+    // Partition rows: bins <= split.bin go left.
+    const uint8_t* col = data_.bins + split.feature * data_.rows;
+    auto mid_it = std::partition(idx_.begin() + begin, idx_.begin() + end,
+                                 [&](uint32_t row) { return col[row] <= split.bin; });
+    size_t mid = static_cast<size_t>(mid_it - idx_.begin());
+    if (mid == begin || mid == end) {
+      // Should not happen (split scan guarantees both sides non-empty), but
+      // degenerate to a leaf rather than recurse forever.
+      MakeLeaf(node_id, begin, end);
+      return node_id;
+    }
+
+    tree_.nodes_[node_id].feature = static_cast<int32_t>(split.feature);
+    tree_.nodes_[node_id].threshold = data_.binner->SplitThreshold(split.feature, split.bin);
+    int32_t left = BuildNode(begin, mid, depth + 1);
+    int32_t right = BuildNode(mid, end, depth + 1);
+    tree_.nodes_[node_id].left = left;
+    tree_.nodes_[node_id].right = right;
+    return node_id;
+  }
+
+  void MakeLeaf(int32_t node_id, size_t begin, size_t end) {
+    auto& node = tree_.nodes_[static_cast<size_t>(node_id)];
+    node.feature = -1;
+    if (IsClassification()) {
+      node.payload = static_cast<int32_t>(tree_.leaf_probs_.size() /
+                                          static_cast<size_t>(num_classes_));
+      std::vector<double> counts(static_cast<size_t>(num_classes_), 0.0);
+      for (size_t i = begin; i < end; ++i) counts[static_cast<size_t>(labels_[idx_[i]])] += 1.0;
+      double total = static_cast<double>(end - begin);
+      for (double c : counts) {
+        tree_.leaf_probs_.push_back(static_cast<float>(c / total));
+      }
+    } else {
+      node.payload = static_cast<int32_t>(tree_.leaf_values_.size());
+      double g = 0.0, h = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        g += grad_[idx_[i]];
+        h += hess_[idx_[i]];
+      }
+      tree_.leaf_values_.push_back(-g / (h + config_.lambda));
+    }
+  }
+
+  // Candidate features for this node: all, or a uniform subsample.
+  std::span<const uint32_t> SampleFeatures() {
+    size_t k = config_.max_features > 0
+                   ? std::min<size_t>(static_cast<size_t>(config_.max_features), data_.features)
+                   : data_.features;
+    if (k == data_.features) return feature_scratch_;
+    // Partial Fisher-Yates: first k entries become the sample.
+    for (size_t i = 0; i < k; ++i) {
+      size_t j = static_cast<size_t>(
+          rng_.UniformInt(static_cast<int64_t>(i), static_cast<int64_t>(data_.features) - 1));
+      std::swap(feature_scratch_[i], feature_scratch_[j]);
+    }
+    return {feature_scratch_.data(), k};
+  }
+
+  Split FindBestSplit(size_t begin, size_t end) {
+    return IsClassification() ? FindBestSplitGini(begin, end)
+                              : FindBestSplitGrad(begin, end);
+  }
+
+  Split FindBestSplitGini(size_t begin, size_t end) {
+    const size_t n = end - begin;
+    const size_t k = static_cast<size_t>(num_classes_);
+    // Parent class counts.
+    std::vector<double> parent(k, 0.0);
+    for (size_t i = begin; i < end; ++i) parent[static_cast<size_t>(labels_[idx_[i]])] += 1.0;
+    double parent_gini = GiniImpurity(parent, static_cast<double>(n));
+
+    Split best;
+    std::vector<double> hist(static_cast<size_t>(kMaxBins) * k);
+    std::vector<double> left(k);
+    for (uint32_t f : SampleFeatures()) {
+      int bins = data_.binner->NumBins(f);
+      if (bins < 2) continue;
+      std::fill(hist.begin(), hist.begin() + static_cast<size_t>(bins) * k, 0.0);
+      const uint8_t* col = data_.bins + static_cast<size_t>(f) * data_.rows;
+      for (size_t i = begin; i < end; ++i) {
+        uint32_t row = idx_[i];
+        hist[static_cast<size_t>(col[row]) * k + static_cast<size_t>(labels_[row])] += 1.0;
+      }
+      std::fill(left.begin(), left.end(), 0.0);
+      double n_left = 0.0;
+      for (int b = 0; b < bins - 1; ++b) {
+        for (size_t c = 0; c < k; ++c) {
+          double v = hist[static_cast<size_t>(b) * k + c];
+          left[c] += v;
+          n_left += v;
+        }
+        double n_right = static_cast<double>(n) - n_left;
+        if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
+          continue;
+        }
+        double gini_left = 0.0, gini_right = 0.0;
+        for (size_t c = 0; c < k; ++c) {
+          double l = left[c];
+          double r = parent[c] - l;
+          gini_left += l * l;
+          gini_right += r * r;
+        }
+        // impurity = 1 - sum(p^2); weighted children impurity:
+        double child =
+            (n_left - gini_left / n_left) + (n_right - gini_right / n_right);
+        double gain = parent_gini * static_cast<double>(n) - child;
+        if (gain > best.gain + config_.min_gain) {
+          best.found = true;
+          best.feature = f;
+          best.bin = b;
+          best.gain = gain;
+        }
+      }
+    }
+    return best;
+  }
+
+  Split FindBestSplitGrad(size_t begin, size_t end) {
+    double g_total = 0.0, h_total = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+      g_total += grad_[idx_[i]];
+      h_total += hess_[idx_[i]];
+    }
+    const double lambda = config_.lambda;
+    double parent_score = g_total * g_total / (h_total + lambda);
+
+    Split best;
+    std::vector<double> g_hist(kMaxBins), h_hist(kMaxBins);
+    std::vector<uint32_t> c_hist(kMaxBins);
+    const size_t n = end - begin;
+    for (uint32_t f : SampleFeatures()) {
+      int bins = data_.binner->NumBins(f);
+      if (bins < 2) continue;
+      std::fill(g_hist.begin(), g_hist.begin() + bins, 0.0);
+      std::fill(h_hist.begin(), h_hist.begin() + bins, 0.0);
+      std::fill(c_hist.begin(), c_hist.begin() + bins, 0u);
+      const uint8_t* col = data_.bins + static_cast<size_t>(f) * data_.rows;
+      for (size_t i = begin; i < end; ++i) {
+        uint32_t row = idx_[i];
+        uint8_t b = col[row];
+        g_hist[b] += grad_[row];
+        h_hist[b] += hess_[row];
+        c_hist[b] += 1;
+      }
+      double g_left = 0.0, h_left = 0.0;
+      size_t n_left = 0;
+      for (int b = 0; b < bins - 1; ++b) {
+        g_left += g_hist[b];
+        h_left += h_hist[b];
+        n_left += c_hist[b];
+        size_t n_right = n - n_left;
+        if (n_left < static_cast<size_t>(config_.min_samples_leaf) ||
+            n_right < static_cast<size_t>(config_.min_samples_leaf)) {
+          continue;
+        }
+        double g_right = g_total - g_left;
+        double h_right = h_total - h_left;
+        double gain = g_left * g_left / (h_left + lambda) +
+                      g_right * g_right / (h_right + lambda) - parent_score;
+        if (gain > best.gain + config_.min_gain) {
+          best.found = true;
+          best.feature = f;
+          best.bin = b;
+          best.gain = gain;
+        }
+      }
+    }
+    return best;
+  }
+
+  static double GiniImpurity(const std::vector<double>& counts, double n) {
+    if (n <= 0.0) return 0.0;
+    double s = 0.0;
+    for (double c : counts) s += c * c;
+    return 1.0 - s / (n * n);
+  }
+
+  const BinnedView& data_;
+  const TreeConfig& config_;
+  Rng& rng_;
+
+  std::span<const int> labels_;
+  std::span<const double> grad_;
+  std::span<const double> hess_;
+  int num_classes_ = 0;
+
+  std::vector<uint32_t> idx_;
+  std::vector<uint32_t> feature_scratch_;
+  DecisionTree tree_;
+};
+
+DecisionTree DecisionTree::FitClassifier(const BinnedView& data, std::span<const int> labels,
+                                         std::span<const uint32_t> row_indices,
+                                         int num_classes, const TreeConfig& config,
+                                         Rng& rng) {
+  if (row_indices.empty()) throw std::invalid_argument("FitClassifier: no rows");
+  TreeTrainer trainer(data, config, rng);
+  return trainer.TrainClassifier(labels, row_indices, num_classes);
+}
+
+DecisionTree DecisionTree::FitRegressor(const BinnedView& data, std::span<const double> grad,
+                                        std::span<const double> hess,
+                                        std::span<const uint32_t> row_indices,
+                                        const TreeConfig& config, Rng& rng) {
+  if (row_indices.empty()) throw std::invalid_argument("FitRegressor: no rows");
+  TreeTrainer trainer(data, config, rng);
+  return trainer.TrainRegressor(grad, hess, row_indices);
+}
+
+size_t DecisionTree::leaf_count() const {
+  size_t leaves = 0;
+  for (const auto& node : nodes_) {
+    if (node.feature < 0) ++leaves;
+  }
+  return leaves;
+}
+
+int DecisionTree::depth() const {
+  // Depth via iterative DFS with explicit depth tracking.
+  if (nodes_.empty()) return 0;
+  int max_depth = 0;
+  std::vector<std::pair<int32_t, int>> stack{{0, 1}};
+  while (!stack.empty()) {
+    auto [id, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& node = nodes_[static_cast<size_t>(id)];
+    if (node.feature >= 0) {
+      stack.emplace_back(node.left, d + 1);
+      stack.emplace_back(node.right, d + 1);
+    }
+  }
+  return max_depth;
+}
+
+size_t DecisionTree::FindLeaf(std::span<const double> x) const {
+  size_t id = 0;
+  while (true) {
+    const Node& node = nodes_[id];
+    if (node.feature < 0) return id;
+    id = static_cast<size_t>(x[static_cast<size_t>(node.feature)] < node.threshold
+                                 ? node.left
+                                 : node.right);
+  }
+}
+
+void DecisionTree::PredictProba(std::span<const double> x, std::span<double> out) const {
+  const Node& leaf = nodes_[FindLeaf(x)];
+  const float* probs =
+      leaf_probs_.data() + static_cast<size_t>(leaf.payload) * static_cast<size_t>(num_classes_);
+  for (int c = 0; c < num_classes_; ++c) out[static_cast<size_t>(c)] = probs[c];
+}
+
+double DecisionTree::PredictValue(std::span<const double> x) const {
+  const Node& leaf = nodes_[FindLeaf(x)];
+  return leaf_values_[static_cast<size_t>(leaf.payload)];
+}
+
+void DecisionTree::Serialize(ByteWriter& w) const {
+  w.I32(num_classes_);
+  w.U32(static_cast<uint32_t>(nodes_.size()));
+  for (const auto& node : nodes_) {
+    w.I32(node.feature);
+    w.F64(node.threshold);
+    w.I32(node.left);
+    w.I32(node.right);
+    w.I32(node.payload);
+  }
+  w.PodVector(leaf_probs_);
+  w.PodVector(leaf_values_);
+}
+
+DecisionTree DecisionTree::Deserialize(ByteReader& r) {
+  DecisionTree tree;
+  tree.num_classes_ = r.I32();
+  uint32_t n = r.U32();
+  tree.nodes_.resize(n);
+  for (auto& node : tree.nodes_) {
+    node.feature = r.I32();
+    node.threshold = r.F64();
+    node.left = r.I32();
+    node.right = r.I32();
+    node.payload = r.I32();
+  }
+  tree.leaf_probs_ = r.PodVector<float>();
+  tree.leaf_values_ = r.PodVector<double>();
+  return tree;
+}
+
+}  // namespace rc::ml

@@ -1,0 +1,99 @@
+// Histogram-based CART decision tree. One implementation serves both
+// ensemble families of Table 1: Gini-impurity classification trees (Random
+// Forest) and second-order gradient regression trees (Extreme Gradient
+// Boosting). Training operates on a quantile-binned matrix (FeatureBinner)
+// for O(bins) split scans; inference walks raw feature values against stored
+// raw-value thresholds, so a trained tree is self-contained.
+#ifndef RC_SRC_ML_TREE_H_
+#define RC_SRC_ML_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ml/bytes.h"
+#include "src/ml/dataset.h"
+
+namespace rc::ml {
+
+struct TreeConfig {
+  int max_depth = 10;
+  int min_samples_leaf = 2;
+  double min_gain = 1e-7;
+  // Features considered per split; 0 means all (GBT), sqrt(F) is the usual
+  // Random Forest choice (set by the forest trainer).
+  int max_features = 0;
+  // L2 regularization on regression leaf values (XGBoost's lambda).
+  double lambda = 1.0;
+};
+
+// Read-only view of a binned training matrix.
+struct BinnedView {
+  const uint8_t* bins = nullptr;  // column-major: bins[f * rows + i]
+  size_t rows = 0;
+  size_t features = 0;
+  const FeatureBinner* binner = nullptr;
+
+  uint8_t Bin(size_t row, size_t f) const { return bins[f * rows + row]; }
+};
+
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  // Fits a Gini classification tree. `row_indices` selects (possibly
+  // repeated, for bagging) training rows.
+  static DecisionTree FitClassifier(const BinnedView& data, std::span<const int> labels,
+                                    std::span<const uint32_t> row_indices, int num_classes,
+                                    const TreeConfig& config, Rng& rng);
+
+  // Fits a regression tree to per-row gradient/hessian pairs (Newton
+  // boosting); leaf value is -sum(g) / (sum(h) + lambda).
+  static DecisionTree FitRegressor(const BinnedView& data, std::span<const double> grad,
+                                   std::span<const double> hess,
+                                   std::span<const uint32_t> row_indices,
+                                   const TreeConfig& config, Rng& rng);
+
+  bool is_classifier() const { return num_classes_ > 0; }
+  int num_classes() const { return num_classes_; }
+  size_t node_count() const { return nodes_.size(); }
+  size_t leaf_count() const;
+  int depth() const;
+
+  // Classification: writes class probabilities into `out` (num_classes).
+  void PredictProba(std::span<const double> x, std::span<double> out) const;
+  // Regression: leaf value for x.
+  double PredictValue(std::span<const double> x) const;
+
+  // Total Gini / loss-reduction gain attributed to each feature during
+  // training (empty if deserialized from an old buffer; always sized to the
+  // training feature count otherwise).
+  const std::vector<double>& gain_importance() const { return gain_importance_; }
+
+  void Serialize(ByteWriter& w) const;
+  static DecisionTree Deserialize(ByteReader& r);
+
+ private:
+  struct Node {
+    int32_t feature = -1;   // -1 for leaves
+    double threshold = 0.0; // go left iff x[feature] < threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t payload = -1;   // leaves: index into leaf storage
+  };
+
+  size_t FindLeaf(std::span<const double> x) const;
+
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;                // 0 => regression tree
+  std::vector<float> leaf_probs_;      // classification: payload * k + c
+  std::vector<double> leaf_values_;    // regression
+  std::vector<double> gain_importance_;
+
+  friend class TreeTrainer;
+};
+
+}  // namespace rc::ml
+
+#endif  // RC_SRC_ML_TREE_H_

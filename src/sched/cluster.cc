@@ -1,0 +1,51 @@
+#include "src/sched/cluster.h"
+
+#include <cassert>
+
+namespace rc::sched {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  servers_.resize(static_cast<size_t>(config.num_servers));
+}
+
+void Cluster::PlaceVm(const VmRequest& vm, int server_id) {
+  Server& s = servers_[static_cast<size_t>(server_id)];
+  if (s.empty()) {
+    s.kind = vm.production ? ServerKind::kNonOversubscribable
+                           : ServerKind::kOversubscribable;
+  }
+  s.alloc_cores += vm.cores;
+  s.alloc_mem += vm.memory_gb;
+  if (s.kind == ServerKind::kOversubscribable) {
+    s.util_cores += vm.predicted_util_fraction * vm.cores;
+  }
+  s.active_vms += 1;
+}
+
+void Cluster::CompleteVm(const VmRequest& vm, int server_id) {
+  Server& s = servers_[static_cast<size_t>(server_id)];
+  s.alloc_cores -= vm.cores;
+  s.alloc_mem -= vm.memory_gb;
+  if (s.kind == ServerKind::kOversubscribable) {
+    s.util_cores -= vm.predicted_util_fraction * vm.cores;
+  }
+  s.active_vms -= 1;
+  assert(s.active_vms >= 0);
+  if (s.active_vms == 0) {
+    // Drained servers rejoin the empty pool with clean ledgers (guards
+    // against floating-point residue).
+    s.alloc_cores = 0.0;
+    s.util_cores = 0.0;
+    s.alloc_mem = 0.0;
+  }
+}
+
+bool Cluster::FitsStrict(const VmRequest& vm, const Server& s) const {
+  return s.alloc_cores + vm.cores <= physical_cores() + 1e-9 && FitsMemory(vm, s);
+}
+
+bool Cluster::FitsMemory(const VmRequest& vm, const Server& s) const {
+  return s.alloc_mem + vm.memory_gb <= config_.memory_per_server_gb + 1e-9;
+}
+
+}  // namespace rc::sched

@@ -1,0 +1,118 @@
+#include "src/sched/policies.h"
+
+#include <algorithm>
+
+#include "src/common/buckets.h"
+
+namespace rc::sched {
+
+using rc::core::BucketValuePolicy;
+using rc::core::Prediction;
+using rc::core::UtilizationBucketValue;
+
+const char* ToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kBaseline: return "Baseline";
+    case PolicyKind::kNaive: return "Naive";
+    case PolicyKind::kRcInformedSoft: return "RC-informed-soft";
+    case PolicyKind::kRcInformedHard: return "RC-informed-hard";
+    case PolicyKind::kRcSoftRight: return "RC-soft-right";
+    case PolicyKind::kRcSoftWrong: return "RC-soft-wrong";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::unique_ptr<Rule>> BuildRules(const PolicyConfig& config) {
+  std::vector<std::unique_ptr<Rule>> rules;
+  switch (config.kind) {
+    case PolicyKind::kBaseline:
+      rules.push_back(std::make_unique<StrictFitRule>());
+      rules.push_back(std::make_unique<PreferNonEmptyRule>());
+      break;
+    // For the oversubscribing policies the soft-rule order implements the
+    // paper's preferences: respect the utilization cap first, then fill
+    // partially-used servers before opening empty ones (compacting the
+    // oversubscribable pool frees whole servers — the capacity gain), and
+    // only then prefer a non-oversubscribing placement among what remains.
+    case PolicyKind::kNaive:
+      // Oversubscription without predictions: no utilization cap at all.
+      rules.push_back(std::make_unique<OversubFitRule>(config.oversub,
+                                                       /*enforce_util_check=*/false));
+      rules.push_back(std::make_unique<PreferNonEmptyRule>());
+      rules.push_back(std::make_unique<AvoidOversubscriptionRule>());
+      break;
+    case PolicyKind::kRcInformedHard:
+      rules.push_back(std::make_unique<OversubFitRule>(config.oversub,
+                                                       /*enforce_util_check=*/true));
+      rules.push_back(std::make_unique<PreferNonEmptyRule>());
+      rules.push_back(std::make_unique<AvoidOversubscriptionRule>());
+      break;
+    case PolicyKind::kRcInformedSoft:
+    case PolicyKind::kRcSoftRight:
+    case PolicyKind::kRcSoftWrong:
+      rules.push_back(std::make_unique<OversubFitRule>(config.oversub,
+                                                       /*enforce_util_check=*/false));
+      rules.push_back(std::make_unique<UtilizationCapRule>(config.oversub));
+      rules.push_back(std::make_unique<PreferNonEmptyRule>());
+      rules.push_back(std::make_unique<AvoidOversubscriptionRule>());
+      break;
+  }
+  return rules;
+}
+
+}  // namespace
+
+SchedulingPolicy::SchedulingPolicy(PolicyConfig config, Cluster* cluster,
+                                   UtilPredictor predictor)
+    : config_(config),
+      predictor_(std::move(predictor)),
+      scheduler_(std::make_unique<Scheduler>(cluster, BuildRules(config))),
+      rng_(config.seed) {}
+
+double SchedulingPolicy::UtilFractionFor(const VmRequest& vm) {
+  switch (config_.kind) {
+    case PolicyKind::kBaseline:
+      return 1.0;  // unused: Baseline never oversubscribes
+    case PolicyKind::kNaive:
+      return 0.0;  // no predictions; no utilization ledger
+    case PolicyKind::kRcSoftRight: {
+      int bucket = UtilizationBucket(vm.source != nullptr ? vm.source->p95_max_cpu : 1.0);
+      bucket = std::min(3, bucket + config_.bucket_shift);
+      return UtilizationBucketValue(bucket, BucketValuePolicy::kHigh);
+    }
+    case PolicyKind::kRcSoftWrong: {
+      int true_bucket =
+          UtilizationBucket(vm.source != nullptr ? vm.source->p95_max_cpu : 1.0);
+      // An incorrect random bucket, uniform over the other three.
+      int wrong = static_cast<int>(rng_.UniformInt(0, 2));
+      if (wrong >= true_bucket) ++wrong;
+      wrong = std::min(3, wrong + config_.bucket_shift);
+      return UtilizationBucketValue(wrong, BucketValuePolicy::kHigh);
+    }
+    case PolicyKind::kRcInformedSoft:
+    case PolicyKind::kRcInformedHard: {
+      Prediction pred = predictor_ ? predictor_(vm) : Prediction::None();
+      if (!pred.valid || pred.score < config_.confidence_threshold) {
+        // Low confidence or no prediction: conservatively assume the VM
+        // uses its full allocation (Algorithm 1 lines 10-13).
+        return 1.0;
+      }
+      int bucket = std::min(3, pred.bucket + config_.bucket_shift);
+      return UtilizationBucketValue(bucket, BucketValuePolicy::kHigh);
+    }
+  }
+  return 1.0;
+}
+
+std::optional<int> SchedulingPolicy::Place(VmRequest& vm) {
+  vm.predicted_util_fraction = UtilFractionFor(vm);
+  return scheduler_->Schedule(vm);
+}
+
+void SchedulingPolicy::Complete(const VmRequest& vm, int server_id) {
+  scheduler_->Complete(vm, server_id);
+}
+
+}  // namespace rc::sched

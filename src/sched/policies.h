@@ -1,0 +1,76 @@
+// The scheduler variants evaluated in Section 6.2:
+//
+//  * Baseline          — no oversubscription, no production split.
+//  * Naive             — oversubscription without predictions (no util cap).
+//  * RC-informed-soft  — Algorithm 1 with the utilization check as a soft rule.
+//  * RC-informed-hard  — Algorithm 1 with the utilization check in the hard
+//                        fit rule.
+//  * RC-soft-right     — oracle: the prediction is always the true bucket.
+//  * RC-soft-wrong     — adversary: always an incorrect random bucket.
+//
+// A policy owns the scheduler configuration and fills each VM's predicted
+// P95 utilization before placement. Predictions come from any callable
+// (the RC client library in the benches; oracles in tests), so the scheduler
+// stays decoupled from the prediction plumbing — exactly the DLL boundary of
+// the paper.
+#ifndef RC_SRC_SCHED_POLICIES_H_
+#define RC_SRC_SCHED_POLICIES_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/core/prediction.h"
+#include "src/sched/scheduler.h"
+
+namespace rc::sched {
+
+enum class PolicyKind {
+  kBaseline,
+  kNaive,
+  kRcInformedSoft,
+  kRcInformedHard,
+  kRcSoftRight,
+  kRcSoftWrong,
+};
+const char* ToString(PolicyKind kind);
+
+using UtilPredictor = std::function<rc::core::Prediction(const VmRequest& vm)>;
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kRcInformedSoft;
+  OversubParams oversub;
+  // Predictions below this confidence are discarded (Algorithm 1 line 10).
+  double confidence_threshold = 0.6;
+  // Add this many buckets to every prediction (sensitivity study).
+  int bucket_shift = 0;
+  uint64_t seed = 7;  // for RC-soft-wrong's random incorrect bucket
+};
+
+class SchedulingPolicy {
+ public:
+  // `predictor` is required for the RC-informed kinds and ignored otherwise.
+  SchedulingPolicy(PolicyConfig config, Cluster* cluster, UtilPredictor predictor);
+
+  // Computes vm.predicted_util_fraction per the policy, then schedules.
+  std::optional<int> Place(VmRequest& vm);
+  void Complete(const VmRequest& vm, int server_id);
+
+  const PolicyConfig& config() const { return config_; }
+  const Cluster& cluster() const { return scheduler_->cluster(); }
+
+  // Exposed for tests: the utilization fraction this policy would book for
+  // the VM.
+  double UtilFractionFor(const VmRequest& vm);
+
+ private:
+  PolicyConfig config_;
+  UtilPredictor predictor_;
+  std::unique_ptr<Scheduler> scheduler_;
+  Rng rng_;
+};
+
+}  // namespace rc::sched
+
+#endif  // RC_SRC_SCHED_POLICIES_H_

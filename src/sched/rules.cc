@@ -1,0 +1,75 @@
+#include "src/sched/rules.h"
+
+#include <algorithm>
+
+namespace rc::sched {
+
+namespace {
+
+template <typename Pred>
+void EraseIfNot(std::vector<int>& candidates, Pred eligible) {
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [&](int id) { return !eligible(id); }),
+      candidates.end());
+}
+
+}  // namespace
+
+void StrictFitRule::Filter(const VmRequest& vm, const Cluster& cluster,
+                           std::vector<int>& candidates) const {
+  EraseIfNot(candidates, [&](int id) { return cluster.FitsStrict(vm, cluster.server(id)); });
+}
+
+void OversubFitRule::Filter(const VmRequest& vm, const Cluster& cluster,
+                            std::vector<int>& candidates) const {
+  const double physical = cluster.physical_cores();
+  if (vm.production) {
+    EraseIfNot(candidates, [&](int id) {
+      const Server& s = cluster.server(id);
+      bool group_ok = s.empty() || s.kind == ServerKind::kNonOversubscribable;
+      return group_ok && cluster.FitsStrict(vm, s);
+    });
+    return;
+  }
+  EraseIfNot(candidates, [&](int id) {
+    const Server& s = cluster.server(id);
+    bool group_ok = s.empty() || s.kind == ServerKind::kOversubscribable;
+    if (!group_ok || !cluster.FitsMemory(vm, s)) return false;
+    if (s.alloc_cores + vm.cores > params_.max_oversub * physical + 1e-9) return false;
+    if (enforce_util_check_ &&
+        s.util_cores + vm.predicted_util_fraction * vm.cores >
+            params_.max_util * physical + 1e-9) {
+      return false;
+    }
+    return true;
+  });
+}
+
+void UtilizationCapRule::Filter(const VmRequest& vm, const Cluster& cluster,
+                                std::vector<int>& candidates) const {
+  if (vm.production) return;  // the cap only governs oversubscribable servers
+  const double physical = cluster.physical_cores();
+  EraseIfNot(candidates, [&](int id) {
+    const Server& s = cluster.server(id);
+    return s.util_cores + vm.predicted_util_fraction * vm.cores <=
+           params_.max_util * physical + 1e-9;
+  });
+}
+
+void AvoidOversubscriptionRule::Filter(const VmRequest& vm, const Cluster& cluster,
+                                       std::vector<int>& candidates) const {
+  if (vm.production) return;
+  EraseIfNot(candidates, [&](int id) {
+    const Server& s = cluster.server(id);
+    return s.alloc_cores + vm.cores <= cluster.physical_cores() + 1e-9;
+  });
+}
+
+void PreferNonEmptyRule::Filter(const VmRequest& vm, const Cluster& cluster,
+                                std::vector<int>& candidates) const {
+  (void)vm;
+  EraseIfNot(candidates, [&](int id) { return !cluster.server(id).empty(); });
+}
+
+}  // namespace rc::sched

@@ -1,0 +1,45 @@
+#include "src/sched/scheduler.h"
+
+#include <numeric>
+
+namespace rc::sched {
+
+Scheduler::Scheduler(Cluster* cluster, std::vector<std::unique_ptr<Rule>> rules)
+    : cluster_(cluster), rules_(std::move(rules)) {}
+
+std::optional<int> Scheduler::Schedule(const VmRequest& vm) {
+  scratch_.resize(static_cast<size_t>(cluster_->size()));
+  std::iota(scratch_.begin(), scratch_.end(), 0);
+
+  std::vector<int> backup;
+  for (const auto& rule : rules_) {
+    if (rule->hard()) {
+      rule->Filter(vm, *cluster_, scratch_);
+      if (scratch_.empty()) return std::nullopt;
+    } else {
+      // Soft rule: enforce only if at least one candidate survives.
+      backup = scratch_;
+      rule->Filter(vm, *cluster_, scratch_);
+      if (scratch_.empty()) scratch_ = std::move(backup);
+    }
+  }
+
+  // Tightest packing among survivors.
+  int best = scratch_.front();
+  double best_alloc = cluster_->server(best).alloc_cores;
+  for (int id : scratch_) {
+    double alloc = cluster_->server(id).alloc_cores;
+    if (alloc > best_alloc) {
+      best = id;
+      best_alloc = alloc;
+    }
+  }
+  cluster_->PlaceVm(vm, best);
+  return best;
+}
+
+void Scheduler::Complete(const VmRequest& vm, int server_id) {
+  cluster_->CompleteVm(vm, server_id);
+}
+
+}  // namespace rc::sched

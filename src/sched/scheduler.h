@@ -1,0 +1,37 @@
+// The rule-chain scheduler: applies hard and soft rules in order, then
+// picks the tightest-packing candidate (highest allocated cores, which also
+// fills partially-used servers before empty ones).
+#ifndef RC_SRC_SCHED_SCHEDULER_H_
+#define RC_SRC_SCHED_SCHEDULER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/sched/cluster.h"
+#include "src/sched/rules.h"
+
+namespace rc::sched {
+
+class Scheduler {
+ public:
+  Scheduler(Cluster* cluster, std::vector<std::unique_ptr<Rule>> rules);
+
+  // Selects a server and performs PlaceVM bookkeeping; nullopt = scheduling
+  // failure (no server satisfies the hard rules).
+  std::optional<int> Schedule(const VmRequest& vm);
+
+  // VMCompleted bookkeeping.
+  void Complete(const VmRequest& vm, int server_id);
+
+  const Cluster& cluster() const { return *cluster_; }
+
+ private:
+  Cluster* cluster_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<int> scratch_;  // candidate buffer reused across calls
+};
+
+}  // namespace rc::sched
+
+#endif  // RC_SRC_SCHED_SCHEDULER_H_

@@ -1,0 +1,142 @@
+#include "src/sched/simulator.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "src/trace/utilization.h"
+
+namespace rc::sched {
+
+using rc::trace::UtilizationModel;
+
+std::vector<VmRequest> RequestsFromTrace(const rc::trace::Trace& trace, SimTime horizon) {
+  std::vector<VmRequest> out;
+  out.reserve(trace.vms().size());
+  for (const auto& vm : trace.vms()) {
+    if (vm.created >= horizon) continue;
+    VmRequest req;
+    req.vm_id = vm.vm_id;
+    req.cores = vm.cores;
+    req.memory_gb = vm.memory_gb;
+    req.production = vm.tag == rc::trace::DeploymentTag::kProduction;
+    req.arrival = vm.created;
+    req.departure = vm.deleted;
+    req.source = &vm;
+    out.push_back(req);
+  }
+  std::sort(out.begin(), out.end(), [](const VmRequest& a, const VmRequest& b) {
+    if (a.arrival != b.arrival) return a.arrival < b.arrival;
+    return a.vm_id < b.vm_id;
+  });
+  return out;
+}
+
+SimResult ClusterSimulator::Run(std::vector<VmRequest> requests,
+                                SchedulingPolicy& policy) const {
+  SimResult result;
+  const double physical = static_cast<double>(config_.cluster.cores_per_server);
+
+  struct Departure {
+    SimTime time;
+    size_t request_index;
+    int server;
+    bool operator>(const Departure& other) const { return time > other.time; }
+  };
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<Departure>> departures;
+
+  struct ActiveVm {
+    const rc::trace::VmRecord* source;
+    int cores;
+  };
+  std::vector<std::vector<ActiveVm>> hosted(static_cast<size_t>(config_.cluster.num_servers));
+
+  // P99 via a fixed histogram over [0, 2) x physical capacity.
+  constexpr size_t kUtilBins = 400;
+  std::vector<int64_t> util_hist(kUtilBins, 0);
+  double util_sum = 0.0;
+
+  size_t next_arrival = 0;
+  auto process_events_until = [&](SimTime t) {
+    while (true) {
+      bool have_arrival = next_arrival < requests.size() && requests[next_arrival].arrival <= t;
+      bool have_departure = !departures.empty() && departures.top().time <= t;
+      if (!have_arrival && !have_departure) break;
+      // Interleave in time order; departures first on ties (frees capacity).
+      bool departure_first =
+          have_departure &&
+          (!have_arrival || departures.top().time <= requests[next_arrival].arrival);
+      if (departure_first) {
+        Departure d = departures.top();
+        departures.pop();
+        const VmRequest& vm = requests[d.request_index];
+        policy.Complete(vm, d.server);
+        auto& list = hosted[static_cast<size_t>(d.server)];
+        for (size_t i = 0; i < list.size(); ++i) {
+          if (list[i].source == vm.source) {
+            list[i] = list.back();
+            list.pop_back();
+            break;
+          }
+        }
+      } else {
+        VmRequest& vm = requests[next_arrival];
+        ++result.total_vms;
+        std::optional<int> server = policy.Place(vm);
+        if (!server.has_value()) {
+          ++result.failures;
+        } else {
+          if (policy.cluster().server(*server).alloc_cores > physical + 1e-9) {
+            ++result.oversub_placements;
+          }
+          hosted[static_cast<size_t>(*server)].push_back(ActiveVm{vm.source, vm.cores});
+          if (vm.departure > vm.arrival) {
+            departures.push(Departure{vm.departure, next_arrival, *server});
+          }
+        }
+        ++next_arrival;
+      }
+    }
+  };
+
+  const int64_t slots = config_.horizon / kSlot;
+  for (int64_t slot = 0; slot < slots; ++slot) {
+    SimTime slot_start = SlotStart(slot);
+    process_events_until(slot_start);
+    for (auto& list : hosted) {
+      if (list.empty()) continue;
+      double used_cores = 0.0;
+      for (const ActiveVm& vm : list) {
+        double frac =
+            UtilizationModel::ReadingAt(vm.source->util, slot).max_cpu +
+            config_.util_inflation;
+        used_cores += frac * vm.cores;
+      }
+      double fraction = used_cores / physical;
+      ++result.occupied_readings;
+      if (fraction > 1.0 + 1e-9) ++result.overload_readings;
+      util_sum += fraction;
+      size_t bin = std::min(kUtilBins - 1, static_cast<size_t>(fraction * kUtilBins / 2.0));
+      ++util_hist[bin];
+    }
+  }
+  // Drain remaining arrivals inside the horizon (e.g. after the last slot).
+  process_events_until(config_.horizon);
+
+  if (result.occupied_readings > 0) {
+    result.mean_occupied_utilization =
+        util_sum / static_cast<double>(result.occupied_readings);
+    int64_t target = result.occupied_readings -
+                     (result.occupied_readings + 99) / 100;  // ~P99 rank
+    int64_t seen = 0;
+    for (size_t b = 0; b < kUtilBins; ++b) {
+      seen += util_hist[b];
+      if (seen > target) {
+        result.p99_utilization = 2.0 * static_cast<double>(b + 1) / kUtilBins;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rc::sched

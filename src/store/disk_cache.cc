@@ -1,0 +1,96 @@
+#include "src/store/disk_cache.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+
+#include "src/common/hashing.h"
+
+namespace rc::store {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x52435f4443414348ULL;  // "RC_DCACH"
+
+int64_t NowUnix() {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+DiskCache::DiskCache(std::filesystem::path dir, int64_t expiry_seconds)
+    : dir_(std::move(dir)), expiry_seconds_(expiry_seconds) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::filesystem::path DiskCache::PathFor(const std::string& key) const {
+  // Sanitize: keep alphanumerics, replace the rest; suffix with a hash so
+  // distinct keys cannot collide after sanitization.
+  std::string name;
+  name.reserve(key.size() + 20);
+  for (char c : key) {
+    name.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  name += "_" + std::to_string(Fnv1a(key));
+  name += ".rccache";
+  return dir_ / name;
+}
+
+void DiskCache::Put(const std::string& key, const VersionedBlob& blob, int64_t now_unix) {
+  if (now_unix < 0) now_unix = NowUnix();
+  std::filesystem::path tmp = PathFor(key);
+  tmp += ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // cache writes are best-effort
+    uint64_t size = blob.data.size();
+    out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+    out.write(reinterpret_cast<const char*>(&now_unix), sizeof(now_unix));
+    out.write(reinterpret_cast<const char*>(&blob.version), sizeof(blob.version));
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(reinterpret_cast<const char*>(blob.data.data()),
+              static_cast<std::streamsize>(blob.data.size()));
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, PathFor(key), ec);  // atomic replace
+}
+
+std::optional<VersionedBlob> DiskCache::Get(const std::string& key, int64_t now_unix) const {
+  if (now_unix < 0) now_unix = NowUnix();
+  std::ifstream in(PathFor(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  uint64_t magic = 0;
+  int64_t stamp = 0;
+  VersionedBlob blob;
+  uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&stamp), sizeof(stamp));
+  in.read(reinterpret_cast<char*>(&blob.version), sizeof(blob.version));
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!in || magic != kMagic) return std::nullopt;
+  if (expiry_seconds_ >= 0 && now_unix - stamp > expiry_seconds_) {
+    return std::nullopt;  // expired: the paper's client ignores stale disk data
+  }
+  blob.data.resize(size);
+  in.read(reinterpret_cast<char*>(blob.data.data()), static_cast<std::streamsize>(size));
+  if (!in) return std::nullopt;
+  return blob;
+}
+
+void DiskCache::Remove(const std::string& key) {
+  std::error_code ec;
+  std::filesystem::remove(PathFor(key), ec);
+}
+
+void DiskCache::Clear() {
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".rccache") {
+      std::filesystem::remove(entry.path(), ec);
+    }
+  }
+}
+
+}  // namespace rc::store

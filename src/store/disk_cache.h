@@ -1,0 +1,46 @@
+// Local-filesystem cache of models and feature data (paper Section 4.2):
+// the client DLL persists its in-memory caches to disk and consults the disk
+// copy only when (a) there is an in-memory miss and the store is unavailable
+// or (b) the client restarts while the store is unavailable — and never when
+// the disk entry has expired.
+#ifndef RC_SRC_STORE_DISK_CACHE_H_
+#define RC_SRC_STORE_DISK_CACHE_H_
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "src/store/kv_store.h"
+
+namespace rc::store {
+
+class DiskCache {
+ public:
+  // Entries older than `expiry_seconds` are ignored (and lazily removed).
+  // The directory is created if needed.
+  DiskCache(std::filesystem::path dir, int64_t expiry_seconds);
+
+  // Persists a blob under the (sanitized) key, stamped with `now_unix`
+  // (defaults to wall-clock when < 0).
+  void Put(const std::string& key, const VersionedBlob& blob, int64_t now_unix = -1);
+
+  // Reads a blob back; nullopt if absent, corrupt, or expired relative to
+  // `now_unix`.
+  std::optional<VersionedBlob> Get(const std::string& key, int64_t now_unix = -1) const;
+
+  void Remove(const std::string& key);
+  void Clear();
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path PathFor(const std::string& key) const;
+
+  std::filesystem::path dir_;
+  int64_t expiry_seconds_;
+};
+
+}  // namespace rc::store
+
+#endif  // RC_SRC_STORE_DISK_CACHE_H_

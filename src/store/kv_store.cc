@@ -1,0 +1,102 @@
+#include "src/store/kv_store.h"
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace rc::store {
+
+double LatencyProfile::SampleUs(Rng& rng) const {
+  // Lognormal with the requested median; sigma solved from the P99 ratio
+  // (z_0.99 = 2.326).
+  double mu = std::log(median_us);
+  double sigma = std::log(p99_us / median_us) / 2.326;
+  return rng.LogNormal(mu, sigma);
+}
+
+KvStore::KvStore(Options options) : options_(options), latency_rng_(options.latency_seed) {}
+
+void KvStore::MaybeSleep() const {
+  if (!options_.simulate_latency) return;
+  double us;
+  {
+    // latency_rng_ is guarded by mu_; callers sample under the lock and
+    // sleep outside it.
+    std::lock_guard<std::mutex> lock(mu_);
+    us = options_.latency.SampleUs(latency_rng_);
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(static_cast<int64_t>(us)));
+}
+
+uint64_t KvStore::Put(const std::string& key, std::vector<uint8_t> data) {
+  MaybeSleep();
+  VersionedBlob blob;
+  std::vector<std::pair<Listener, VersionedBlob>> to_notify;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    VersionedBlob& entry = blobs_[key];
+    entry.version += 1;
+    entry.data = std::move(data);
+    blob = entry;
+    to_notify.reserve(listeners_.size());
+    for (const auto& [id, listener] : listeners_) to_notify.emplace_back(listener, blob);
+  }
+  for (auto& [listener, b] : to_notify) listener(key, b);
+  return blob.version;
+}
+
+std::optional<VersionedBlob> KvStore::Get(const std::string& key) const {
+  MaybeSleep();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!available_) return std::nullopt;
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<uint64_t> KvStore::GetVersion(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!available_) return std::nullopt;
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) return std::nullopt;
+  return it->second.version;
+}
+
+std::vector<std::string> KvStore::ListKeys(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> keys;
+  if (!available_) return keys;
+  for (const auto& [key, blob] : blobs_) {
+    if (key.compare(0, prefix.size(), prefix) == 0) keys.push_back(key);
+  }
+  return keys;
+}
+
+void KvStore::SetAvailable(bool available) {
+  std::lock_guard<std::mutex> lock(mu_);
+  available_ = available;
+}
+
+bool KvStore::available() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return available_;
+}
+
+int KvStore::Subscribe(Listener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int id = next_listener_id_++;
+  listeners_[id] = std::move(listener);
+  return id;
+}
+
+void KvStore::Unsubscribe(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.erase(id);
+}
+
+size_t KvStore::key_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blobs_.size();
+}
+
+}  // namespace rc::store

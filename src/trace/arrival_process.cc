@@ -1,0 +1,35 @@
+#include "src/trace/arrival_process.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace rc::trace {
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+double ArrivalProcess::RateFactor(SimTime t) const {
+  double hour = static_cast<double>(t % kDay) / kHour;
+  // Cosine day shape: 1 at peak_hour, night_level at the trough.
+  double phase = std::cos(2.0 * std::numbers::pi * (hour - config_.peak_hour) / 24.0);
+  double day_shape =
+      config_.night_level + (1.0 - config_.night_level) * 0.5 * (1.0 + phase);
+  double week = IsWeekend(t) ? config_.weekend_level : 1.0;
+  return std::max(1e-3, day_shape * week);
+}
+
+SimTime ArrivalProcess::NextArrival() {
+  // Weibull gap with mean equal to peak_mean_interarrival / current rate.
+  // Mean of Weibull(k, lambda) is lambda * Gamma(1 + 1/k); solve for lambda.
+  double rate = RateFactor(t_);
+  double target_mean = config_.peak_mean_interarrival_s / rate;
+  double k = config_.weibull_shape;
+  double lambda = target_mean / std::tgamma(1.0 + 1.0 / k);
+  double gap = rng_.Weibull(k, lambda);
+  SimTime next = t_ + std::max<SimTime>(1, static_cast<SimTime>(std::llround(gap)));
+  t_ = next;
+  return next;
+}
+
+}  // namespace rc::trace

@@ -1,0 +1,49 @@
+// Deployment arrival process. Section 3.7 of the paper observes that VM
+// arrivals are (a) bursty, with heavy-tailed inter-arrival times that fit a
+// Weibull distribution nearly perfectly, and (b) diurnal, with lower load at
+// night and on weekends. We model arrivals as a Weibull renewal process
+// (shape < 1 gives the heavy tail) whose scale is modulated by a smooth
+// time-of-day x day-of-week rate profile.
+#ifndef RC_SRC_TRACE_ARRIVAL_PROCESS_H_
+#define RC_SRC_TRACE_ARRIVAL_PROCESS_H_
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+
+namespace rc::trace {
+
+struct ArrivalConfig {
+  // Mean inter-arrival time at the *peak* of the diurnal cycle, in seconds.
+  double peak_mean_interarrival_s = 20.0;
+  // Weibull shape; < 1 yields heavy-tailed (bursty) gaps.
+  double weibull_shape = 0.6;
+  // Night rate as a fraction of the daytime peak rate.
+  double night_level = 0.35;
+  // Weekend rate multiplier.
+  double weekend_level = 0.55;
+  // Local hour at which the rate peaks.
+  double peak_hour = 14.0;
+};
+
+class ArrivalProcess {
+ public:
+  explicit ArrivalProcess(const ArrivalConfig& config, uint64_t seed);
+
+  // Relative rate multiplier in (0, 1] at time t.
+  double RateFactor(SimTime t) const;
+
+  // Advances the process and returns the next arrival time strictly after
+  // the current one.
+  SimTime NextArrival();
+
+  SimTime current() const { return t_; }
+
+ private:
+  ArrivalConfig config_;
+  Rng rng_;
+  SimTime t_ = 0;
+};
+
+}  // namespace rc::trace
+
+#endif  // RC_SRC_TRACE_ARRIVAL_PROCESS_H_

@@ -1,0 +1,59 @@
+#include "src/trace/trace.h"
+
+#include <algorithm>
+
+namespace rc::trace {
+
+Trace::Trace(std::vector<SubscriptionProfile> subscriptions, std::vector<VmRecord> vms,
+             SimDuration observation_window)
+    : subscriptions_(std::move(subscriptions)),
+      vms_(std::move(vms)),
+      observation_window_(observation_window) {
+  std::sort(vms_.begin(), vms_.end(),
+            [](const VmRecord& a, const VmRecord& b) {
+              if (a.created != b.created) return a.created < b.created;
+              return a.vm_id < b.vm_id;
+            });
+  RebuildIndex();
+}
+
+void Trace::RebuildIndex() {
+  by_subscription_.clear();
+  subscription_index_.clear();
+  for (size_t i = 0; i < vms_.size(); ++i) {
+    by_subscription_[vms_[i].subscription_id].push_back(i);
+  }
+  for (size_t i = 0; i < subscriptions_.size(); ++i) {
+    subscription_index_[subscriptions_[i].subscription_id] = i;
+  }
+}
+
+const std::vector<size_t>& Trace::VmsOfSubscription(uint64_t subscription_id) const {
+  static const std::vector<size_t> kEmpty;
+  auto it = by_subscription_.find(subscription_id);
+  return it == by_subscription_.end() ? kEmpty : it->second;
+}
+
+const SubscriptionProfile* Trace::FindSubscription(uint64_t subscription_id) const {
+  auto it = subscription_index_.find(subscription_id);
+  return it == subscription_index_.end() ? nullptr : &subscriptions_[it->second];
+}
+
+std::vector<const VmRecord*> Trace::CompletedVms() const {
+  std::vector<const VmRecord*> out;
+  out.reserve(vms_.size());
+  for (const auto& vm : vms_) {
+    if (vm.created >= 0 && vm.deleted <= observation_window_) out.push_back(&vm);
+  }
+  return out;
+}
+
+std::vector<const VmRecord*> Trace::VmsCreatedIn(SimTime from, SimTime to) const {
+  std::vector<const VmRecord*> out;
+  for (const auto& vm : vms_) {
+    if (vm.created >= from && vm.created < to) out.push_back(&vm);
+  }
+  return out;
+}
+
+}  // namespace rc::trace

@@ -1,0 +1,56 @@
+// Trace container: the synthetic analogue of the paper's three-month Azure
+// dataset, with subscription profiles (latent) and per-VM records sorted by
+// creation time.
+#ifndef RC_SRC_TRACE_TRACE_H_
+#define RC_SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/trace/vm_types.h"
+
+namespace rc::trace {
+
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::vector<SubscriptionProfile> subscriptions, std::vector<VmRecord> vms,
+        SimDuration observation_window);
+
+  const std::vector<SubscriptionProfile>& subscriptions() const { return subscriptions_; }
+  const std::vector<VmRecord>& vms() const { return vms_; }
+  std::vector<VmRecord>& mutable_vms() { return vms_; }
+  SimDuration observation_window() const { return observation_window_; }
+
+  size_t vm_count() const { return vms_.size(); }
+
+  // Indices (into vms()) of the VMs of each subscription, in creation order.
+  const std::vector<size_t>& VmsOfSubscription(uint64_t subscription_id) const;
+
+  const SubscriptionProfile* FindSubscription(uint64_t subscription_id) const;
+
+  // VMs whose whole lifetime falls within the observation window — the
+  // population over which the paper states lifetime distributions (94% of
+  // its dataset).
+  std::vector<const VmRecord*> CompletedVms() const;
+
+  // VMs created at or after `from` (e.g. the test month for Table 4).
+  std::vector<const VmRecord*> VmsCreatedIn(SimTime from, SimTime to) const;
+
+  // Rebuilds the subscription index; called by the constructor and after
+  // external mutation of vms().
+  void RebuildIndex();
+
+ private:
+  std::vector<SubscriptionProfile> subscriptions_;
+  std::vector<VmRecord> vms_;  // sorted by created
+  SimDuration observation_window_ = 0;
+  std::unordered_map<uint64_t, std::vector<size_t>> by_subscription_;
+  std::unordered_map<uint64_t, size_t> subscription_index_;
+};
+
+}  // namespace rc::trace
+
+#endif  // RC_SRC_TRACE_TRACE_H_

@@ -1,0 +1,33 @@
+// CSV import/export for traces, schema-compatible in spirit with the
+// AzurePublicDataset "vmtable" released with the paper: one row per VM with
+// identifiers, timestamps, size, utilization summaries — plus the latent
+// generative parameters so a written trace round-trips exactly (telemetry is
+// a pure function of those parameters).
+#ifndef RC_SRC_TRACE_TRACE_IO_H_
+#define RC_SRC_TRACE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/trace.h"
+
+namespace rc::trace {
+
+// Writes the VM table as CSV with a header row.
+void WriteVmTable(const Trace& trace, std::ostream& out);
+// Writes per-slot utilization readings ("vm_id,timestamp,min,avg,max") for
+// the given VM, mirroring the dataset's reading files.
+void WriteReadings(const VmRecord& vm, std::ostream& out);
+
+// Parses a VM table previously produced by WriteVmTable. Subscription
+// profiles are not serialized; the returned trace has an empty profile list.
+// Throws std::runtime_error on malformed input.
+Trace ReadVmTable(std::istream& in, SimDuration observation_window);
+
+// Convenience file-path wrappers. Throw std::runtime_error on I/O failure.
+void WriteVmTableFile(const Trace& trace, const std::string& path);
+Trace ReadVmTableFile(const std::string& path, SimDuration observation_window);
+
+}  // namespace rc::trace
+
+#endif  // RC_SRC_TRACE_TRACE_IO_H_

@@ -1,0 +1,56 @@
+// Deterministic, random-access synthesis of per-VM 5-minute CPU telemetry.
+//
+// Storing three doubles per VM per 5-minute slot for a month-scale trace
+// would cost gigabytes, so instead each VM's telemetry is a pure function of
+// its latent UtilizationParams and the slot index: the same (vm, slot) query
+// always returns the same reading, in any order, with no per-VM state. The
+// signal is base level + optional 24-hour diurnal component (interactive
+// workloads) + smooth value-noise (hourly knots, linearly interpolated) +
+// per-slot jitter; the max reading adds a heavy-tailed burst term and the min
+// subtracts a dip term.
+#ifndef RC_SRC_TRACE_UTILIZATION_H_
+#define RC_SRC_TRACE_UTILIZATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/sim_time.h"
+#include "src/trace/vm_types.h"
+
+namespace rc::trace {
+
+class UtilizationModel {
+ public:
+  // Reading for the 5-minute slot with absolute index `slot`
+  // (slot = time / kSlot). Valid for slots within the VM's lifetime;
+  // callers are responsible for range checks.
+  static CpuReading ReadingAt(const UtilizationParams& p, int64_t slot);
+  static CpuReading ReadingAt(const VmRecord& vm, int64_t slot) {
+    return ReadingAt(vm.util, slot);
+  }
+
+  // Average-CPU series for `n` consecutive slots starting at `from_slot`.
+  static std::vector<double> AvgSeries(const UtilizationParams& p, int64_t from_slot,
+                                       int64_t n);
+
+  // Ground-truth summary over the VM's lifetime: mean of avg readings and
+  // 95th percentile of max readings. For very long VMs the series is sampled
+  // at up to `max_samples` evenly spaced slots; the paper's aggregation
+  // pipeline similarly works from periodic telemetry.
+  struct Summary {
+    double avg_cpu;
+    double p95_max_cpu;
+  };
+  static Summary Summarize(const VmRecord& vm, int64_t max_samples = 512);
+
+  // Uniform [0,1) hash noise for (seed, k); exposed for tests.
+  static double HashNoise(uint64_t seed, int64_t k);
+
+ private:
+  // Smooth noise in [-1, 1]: linear interpolation between hourly knot values.
+  static double ValueNoise(uint64_t seed, int64_t slot);
+};
+
+}  // namespace rc::trace
+
+#endif  // RC_SRC_TRACE_UTILIZATION_H_

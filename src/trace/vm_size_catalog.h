@@ -1,0 +1,45 @@
+// Azure-like VM size catalog (A- and D-series circa 2016) with the
+// population weights that reproduce Figures 2 and 3 of the paper: ~80% of
+// VMs have 1-2 cores and ~70% have less than 4 GB of memory, with third-party
+// customers favouring 0.75 GB and 3.5 GB sizes and first-party favouring
+// 1.75 GB.
+#ifndef RC_SRC_TRACE_VM_SIZE_CATALOG_H_
+#define RC_SRC_TRACE_VM_SIZE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/trace/vm_types.h"
+
+namespace rc::trace {
+
+struct VmSizeSpec {
+  std::string name;
+  int cores;
+  double memory_gb;
+};
+
+class VmSizeCatalog {
+ public:
+  VmSizeCatalog();
+
+  const std::vector<VmSizeSpec>& sizes() const { return sizes_; }
+  const VmSizeSpec& at(int index) const { return sizes_.at(static_cast<size_t>(index)); }
+  int size_count() const { return static_cast<int>(sizes_.size()); }
+
+  // Samples a size index from the party-specific population mix.
+  int SampleIndex(Party party, Rng& rng) const;
+
+  // Index of the spec with the given name; -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+ private:
+  std::vector<VmSizeSpec> sizes_;
+  DiscreteSampler first_party_mix_;
+  DiscreteSampler third_party_mix_;
+};
+
+}  // namespace rc::trace
+
+#endif  // RC_SRC_TRACE_VM_SIZE_CATALOG_H_

@@ -1,0 +1,126 @@
+// Core schema for the synthetic Azure-like VM trace. Field layout mirrors the
+// AzurePublicDataset "vmtable" published alongside the paper: every VM carries
+// identifiers (VM, deployment, subscription), size, creation/termination
+// times, and utilization summaries, plus the latent generative parameters we
+// use to synthesize its 5-minute telemetry deterministically.
+#ifndef RC_SRC_TRACE_VM_TYPES_H_
+#define RC_SRC_TRACE_VM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/sim_time.h"
+
+namespace rc::trace {
+
+enum class Party : uint8_t { kFirst = 0, kThird = 1 };
+enum class VmType : uint8_t { kIaas = 0, kPaas = 1 };
+enum class GuestOs : uint8_t { kLinux = 0, kWindows = 1 };
+// First-party subscriptions carry a production / non-production annotation;
+// Algorithm 1 only oversubscribes with non-production VMs.
+enum class DeploymentTag : uint8_t { kProduction = 0, kNonProduction = 1 };
+enum class WorkloadClass : uint8_t {
+  kDelayInsensitive = 0,
+  kInteractive = 1,
+  kUnknown = 2,  // lived < 3 days; periodicity cannot be established
+};
+
+const char* ToString(Party p);
+const char* ToString(VmType t);
+const char* ToString(GuestOs os);
+const char* ToString(DeploymentTag t);
+const char* ToString(WorkloadClass c);
+
+// One 5-minute utilization reading: min/avg/max virtual CPU utilization as a
+// fraction of the VM's allocation in [0, 1].
+struct CpuReading {
+  double min_cpu = 0.0;
+  double avg_cpu = 0.0;
+  double max_cpu = 0.0;
+};
+
+// Latent parameters of the per-VM utilization process. These are *generative*
+// state, deterministic given the VM; the observable telemetry is derived from
+// them by UtilizationModel. Resource Central never reads them directly.
+struct UtilizationParams {
+  uint64_t seed = 0;        // noise stream seed
+  double base = 0.1;        // baseline average utilization (fraction)
+  double diurnal_amp = 0.0; // amplitude of the 24h component (interactive VMs)
+  double diurnal_phase_h = 0.0;  // peak offset in hours
+  double noise_amp = 0.02;  // smooth value-noise amplitude
+  double burst_amp = 0.1;   // spiky max-over-slot headroom above avg
+};
+
+struct VmRecord {
+  uint64_t vm_id = 0;
+  uint64_t deployment_id = 0;
+  uint64_t subscription_id = 0;
+  int32_t region = 0;
+
+  Party party = Party::kFirst;
+  VmType vm_type = VmType::kIaas;
+  GuestOs guest_os = GuestOs::kLinux;
+  DeploymentTag tag = DeploymentTag::kProduction;
+
+  // PaaS role name ("WebRole", "WorkerRole", ...) or "IaaS".
+  std::string role_name;
+  // Top first-party service name, or "unknown" (third-party / small services).
+  std::string service_name;
+
+  int32_t cores = 1;
+  double memory_gb = 1.75;
+
+  SimTime created = 0;
+  SimTime deleted = 0;  // termination time; may exceed the observation window
+
+  UtilizationParams util;
+
+  // Ground-truth summaries computed from the synthesized telemetry at
+  // generation time (what the telemetry pipeline would aggregate).
+  double avg_cpu = 0.0;      // lifetime average of avg readings
+  double p95_max_cpu = 0.0;  // 95th percentile of per-slot max readings
+  WorkloadClass true_class = WorkloadClass::kUnknown;
+
+  SimDuration lifetime() const { return deleted - created; }
+  double CoreHours() const {
+    return static_cast<double>(cores) * static_cast<double>(lifetime()) / kHour;
+  }
+};
+
+// Latent per-subscription profile. Subscriptions are the unit of behavioural
+// consistency in the paper (Section 3): VMs of a subscription mostly share a
+// type, size, utilization level, lifetime regime, and workload class.
+struct SubscriptionProfile {
+  uint64_t subscription_id = 0;
+  Party party = Party::kFirst;
+  VmType dominant_type = VmType::kIaas;
+  double type_consistency = 1.0;  // probability a VM uses the dominant type
+  GuestOs dominant_os = GuestOs::kLinux;
+  DeploymentTag tag = DeploymentTag::kProduction;
+  std::string service_name;  // "unknown" unless a top first-party service
+  int32_t home_region = 0;
+
+  // Dominant bucket + consistency per metric (see common/buckets.h).
+  int avg_util_bucket = 0;
+  int p95_util_bucket = 0;
+  int lifetime_bucket = 0;
+  // Preferred position within the lifetime bucket (0 = short end, 1 = long
+  // end): VMs cluster around it, which is what keeps most subscriptions'
+  // lifetime CoV below 1 (Section 3.5) despite buckets spanning decades.
+  double lifetime_pos = 0.5;
+  int deploy_vms_bucket = 0;
+  double metric_consistency = 0.85;  // P(VM falls in the dominant bucket)
+
+  // Preferred VM size (index into the size catalog) and stickiness.
+  int size_index = 0;
+  double size_consistency = 0.9;
+
+  // Probability that a long-lived VM of this subscription is interactive.
+  double interactive_prob = 0.0;
+
+  double popularity = 1.0;  // relative deployment-arrival weight (Zipf)
+};
+
+}  // namespace rc::trace
+
+#endif  // RC_SRC_TRACE_VM_TYPES_H_

@@ -1,0 +1,163 @@
+#include "src/analysis/characterization.h"
+
+#include <gtest/gtest.h>
+
+#include "src/trace/workload_model.h"
+
+namespace rc::analysis {
+namespace {
+
+using rc::trace::Party;
+using rc::trace::Trace;
+using rc::trace::VmRecord;
+using rc::trace::WorkloadConfig;
+using rc::trace::WorkloadModel;
+
+const Trace& SharedTrace() {
+  static const Trace* trace = [] {
+    WorkloadConfig config;
+    config.target_vm_count = 25000;
+    config.num_subscriptions = 1200;
+    config.seed = 11;
+    return new Trace(WorkloadModel(config).Generate());
+  }();
+  return *trace;
+}
+
+TEST(CharacterizationTest, UtilizationCdfsFig1Shape) {
+  auto all = BuildUtilizationCdfs(SharedTrace(), PartyFilter::kAll);
+  // Fig. 1: ~60% of VMs have average utilization below 20%.
+  EXPECT_NEAR(all.avg.Eval(0.20), 0.66, 0.12);
+  // ~40% have P95 below 50%.
+  EXPECT_NEAR(all.p95_max.Eval(0.50), 0.40, 0.12);
+  // First-party sits above third-party (lower utilization).
+  auto first = BuildUtilizationCdfs(SharedTrace(), PartyFilter::kFirst);
+  auto third = BuildUtilizationCdfs(SharedTrace(), PartyFilter::kThird);
+  EXPECT_GT(first.avg.Eval(0.25), third.avg.Eval(0.25));
+  EXPECT_GT(first.p95_max.Eval(0.8), third.p95_max.Eval(0.8));
+}
+
+TEST(CharacterizationTest, SizeBreakdownsFig2And3) {
+  auto cores = CoreBreakdown(SharedTrace(), PartyFilter::kAll);
+  double small = cores.Fraction("1") + cores.Fraction("2");
+  EXPECT_NEAR(small, 0.8, 0.1);
+  auto memory = MemoryBreakdown(SharedTrace(), PartyFilter::kAll);
+  double tiny = memory.Fraction("0.75") + memory.Fraction("1.75") + memory.Fraction("3.5");
+  EXPECT_NEAR(tiny, 0.7, 0.12);
+}
+
+TEST(CharacterizationTest, DeploymentGroupsPartitionVms) {
+  auto groups = GroupDeployments(SharedTrace());
+  int64_t total = 0;
+  for (const auto& g : groups) {
+    EXPECT_GE(g.vm_count, 1);
+    EXPECT_GE(g.cores, g.vm_count);  // at least one core per VM
+    total += g.vm_count;
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(SharedTrace().vm_count()));
+}
+
+TEST(CharacterizationTest, DeploymentSizeCdfFig4) {
+  auto cdf = DeploymentSizeCdf(SharedTrace(), PartyFilter::kAll);
+  // Fig. 4: ~40% single-VM deployments, ~80% at most 5 VMs. Our generator
+  // calibrates buckets {1} and (1,10]; assert the qualitative shape.
+  EXPECT_GT(cdf.Eval(1.0), 0.30);
+  EXPECT_GT(cdf.Eval(5.0), 0.65);
+  EXPECT_GT(cdf.Eval(100.0), 0.97);
+}
+
+TEST(CharacterizationTest, LifetimeCdfFig5) {
+  auto cdf = LifetimeCdf(SharedTrace(), PartyFilter::kAll);
+  // Knee around one day.
+  EXPECT_GT(cdf.Eval(static_cast<double>(kDay)), 0.85);
+  // A broad spectrum below it.
+  EXPECT_GT(cdf.Eval(static_cast<double>(kHour)), 0.4);
+  EXPECT_LT(cdf.Eval(static_cast<double>(15 * kMinute)), 0.55);
+}
+
+TEST(CharacterizationTest, CoreHoursByClassFig6) {
+  auto truth = CoreHoursByClass(SharedTrace(), PartyFilter::kAll, /*use_fft=*/false);
+  ASSERT_GT(truth.total(), 0.0);
+  // Delay-insensitive dominates; interactive is a meaningful minority.
+  EXPECT_GT(truth.delay_insensitive / truth.total(), 0.4);
+  EXPECT_GT(truth.interactive / truth.total(), 0.03);
+  // FFT-derived classification approximately agrees with ground truth.
+  auto fft = CoreHoursByClass(SharedTrace(), PartyFilter::kAll, /*use_fft=*/true);
+  EXPECT_NEAR(fft.interactive / fft.total(), truth.interactive / truth.total(), 0.05);
+  EXPECT_NEAR(fft.unknown, truth.unknown, truth.total() * 0.02);
+}
+
+TEST(CharacterizationTest, HourlyArrivalsFig7) {
+  auto bins = HourlyArrivals(SharedTrace(), /*region=*/0, 7 * kDay, 14 * kDay);
+  ASSERT_EQ(bins.size(), 168u);
+  int64_t total = 0, day_total = 0, night_total = 0;
+  for (size_t h = 0; h < bins.size(); ++h) {
+    total += bins[h];
+    int hour = static_cast<int>(h % 24);
+    if (hour >= 10 && hour < 18) day_total += bins[h];
+    if (hour < 6) night_total += bins[h];
+  }
+  ASSERT_GT(total, 100);
+  // Diurnal: work hours busier than night (same 8h vs 6h window adjusted).
+  EXPECT_GT(day_total / 8.0, night_total / 6.0);
+}
+
+TEST(CharacterizationTest, SubscriptionCovMostlyBelowOne) {
+  const Trace& t = SharedTrace();
+  auto avg_covs = SubscriptionCoVs(t, [](const VmRecord& vm) { return vm.avg_cpu; });
+  // Section 3.2: ~80% of subscriptions have CoV of avg utilization < 1.
+  EXPECT_GT(FractionBelow(avg_covs, 1.0), 0.75);
+  auto core_covs = SubscriptionCoVs(
+      t, [](const VmRecord& vm) { return static_cast<double>(vm.cores); });
+  // Section 3.3: nearly all subscriptions have core CoV < 1.
+  EXPECT_GT(FractionBelow(core_covs, 1.0), 0.9);
+  auto lifetime_covs = SubscriptionCoVs(
+      t, [](const VmRecord& vm) { return static_cast<double>(vm.lifetime()); });
+  // Section 3.5: ~75% of subscriptions have lifetime CoV < 1.
+  EXPECT_GT(FractionBelow(lifetime_covs, 1.0), 0.55);
+}
+
+TEST(CharacterizationTest, SingleTypeSubscriptionsSection31) {
+  // Paper: 96% of subscriptions create VMs of a single type.
+  EXPECT_NEAR(SingleTypeSubscriptionFraction(SharedTrace()), 0.96, 0.04);
+}
+
+TEST(CharacterizationTest, MetricCorrelationsFig8) {
+  auto m = MetricCorrelations(SharedTrace(), PartyFilter::kAll);
+  ASSERT_EQ(m.names.size(), 7u);
+  auto idx = [&](const std::string& name) {
+    for (size_t i = 0; i < m.names.size(); ++i) {
+      if (m.names[i] == name) return i;
+    }
+    ADD_FAILURE() << "missing column " << name;
+    return size_t{0};
+  };
+  size_t avg = idx("avg util"), p95 = idx("p95 util"), cores = idx("cores"),
+         mem = idx("memory");
+  // Fig. 8: the two utilization metrics strongly positively correlated.
+  EXPECT_GT(m.at(avg, p95), 0.5);
+  // Cores and memory strongly positively correlated (size catalog).
+  EXPECT_GT(m.at(cores, mem), 0.8);
+  // Diagonal is 1, matrix symmetric.
+  for (size_t i = 0; i < m.names.size(); ++i) {
+    EXPECT_DOUBLE_EQ(m.at(i, i), 1.0);
+    for (size_t j = 0; j < m.names.size(); ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+    }
+  }
+}
+
+TEST(CharacterizationTest, PartyFilters) {
+  const Trace& t = SharedTrace();
+  size_t first = 0, third = 0;
+  for (const auto& vm : t.vms()) {
+    if (Matches(vm, PartyFilter::kFirst)) ++first;
+    if (Matches(vm, PartyFilter::kThird)) ++third;
+    EXPECT_TRUE(Matches(vm, PartyFilter::kAll));
+  }
+  EXPECT_EQ(first + third, t.vm_count());
+  EXPECT_STREQ(ToString(PartyFilter::kFirst), "first-party");
+}
+
+}  // namespace
+}  // namespace rc::analysis

@@ -1,0 +1,119 @@
+#include "src/analysis/periodicity.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/trace/utilization.h"
+#include "src/trace/workload_model.h"
+
+namespace rc::analysis {
+namespace {
+
+using rc::trace::UtilizationParams;
+using rc::trace::VmRecord;
+using rc::trace::WorkloadClass;
+
+std::vector<double> Diurnal(int days, double amp, double noise_amp, uint64_t seed) {
+  rc::Rng rng(seed);
+  std::vector<double> series(static_cast<size_t>(days) * kSlotsPerDay);
+  for (size_t i = 0; i < series.size(); ++i) {
+    double hours = static_cast<double>(i) * 5.0 / 60.0;
+    series[i] = 0.3 + amp * 0.5 * (1.0 + std::sin(2.0 * std::numbers::pi * hours / 24.0)) +
+                noise_amp * (rng.NextDouble() - 0.5);
+  }
+  return series;
+}
+
+TEST(PeriodicityTest, DetectsDiurnalSeries) {
+  EXPECT_EQ(ClassifySeries(Diurnal(3, 0.3, 0.02, 1)), WorkloadClass::kInteractive);
+  EXPECT_EQ(ClassifySeries(Diurnal(5, 0.2, 0.05, 2)), WorkloadClass::kInteractive);
+}
+
+TEST(PeriodicityTest, FlatAndNoisySeriesAreDelayInsensitive) {
+  rc::Rng rng(3);
+  std::vector<double> flat(3 * kSlotsPerDay, 0.4);
+  EXPECT_EQ(ClassifySeries(flat), WorkloadClass::kDelayInsensitive);
+  std::vector<double> noise(3 * kSlotsPerDay);
+  for (auto& v : noise) v = rng.NextDouble();
+  EXPECT_EQ(ClassifySeries(noise), WorkloadClass::kDelayInsensitive);
+}
+
+TEST(PeriodicityTest, ShortSeriesUnknown) {
+  // Under 3 days of slots -> Unknown regardless of shape.
+  EXPECT_EQ(ClassifySeries(Diurnal(2, 0.4, 0.0, 4)), WorkloadClass::kUnknown);
+  EXPECT_EQ(ClassifySeries({}), WorkloadClass::kUnknown);
+}
+
+TEST(PeriodicityTest, TwelveHourHarmonicCounts) {
+  // Workday patterns often put power at the 12h harmonic.
+  std::vector<double> series(3 * kSlotsPerDay);
+  for (size_t i = 0; i < series.size(); ++i) {
+    double hours = static_cast<double>(i) * 5.0 / 60.0;
+    series[i] = 0.3 + 0.2 * std::sin(2.0 * std::numbers::pi * hours / 12.0);
+  }
+  EXPECT_EQ(ClassifySeries(series), WorkloadClass::kInteractive);
+}
+
+TEST(PeriodicityTest, HighFrequencyOscillationNotDiurnal) {
+  // A 1-hour cycle is periodic but not at the diurnal scale.
+  std::vector<double> series(3 * kSlotsPerDay);
+  for (size_t i = 0; i < series.size(); ++i) {
+    double hours = static_cast<double>(i) * 5.0 / 60.0;
+    series[i] = 0.3 + 0.2 * std::sin(2.0 * std::numbers::pi * hours / 1.0);
+  }
+  EXPECT_EQ(ClassifySeries(series), WorkloadClass::kDelayInsensitive);
+}
+
+TEST(PeriodicityTest, ClassifyVmShortLifetimeUnknown) {
+  VmRecord vm;
+  vm.created = 0;
+  vm.deleted = 2 * kDay;
+  vm.util.diurnal_amp = 0.4;
+  EXPECT_EQ(ClassifyVm(vm), WorkloadClass::kUnknown);
+}
+
+TEST(PeriodicityTest, ClassifyVmFromSynthesizedTelemetry) {
+  VmRecord interactive;
+  interactive.created = kHour;
+  interactive.deleted = interactive.created + 10 * kDay;
+  interactive.util.seed = 99;
+  interactive.util.base = 0.1;
+  interactive.util.diurnal_amp = 0.3;
+  interactive.util.noise_amp = 0.02;
+  EXPECT_EQ(ClassifyVm(interactive), WorkloadClass::kInteractive);
+
+  VmRecord batch = interactive;
+  batch.util.diurnal_amp = 0.0;
+  batch.util.base = 0.6;
+  EXPECT_EQ(ClassifyVm(batch), WorkloadClass::kDelayInsensitive);
+}
+
+TEST(PeriodicityTest, AgreesWithGenerativeGroundTruth) {
+  // End-to-end agreement on a real trace: recall for interactive must be
+  // ~1 (the conservative direction); precision should be high after the
+  // threshold tuning.
+  rc::trace::WorkloadConfig config;
+  config.target_vm_count = 12000;
+  config.num_subscriptions = 500;
+  config.seed = 321;
+  rc::trace::Trace t = rc::trace::WorkloadModel(config).Generate();
+  int64_t tp = 0, fp = 0, fn = 0, tn = 0;
+  for (const auto& vm : t.vms()) {
+    if (vm.true_class == WorkloadClass::kUnknown) continue;
+    bool truth = vm.true_class == WorkloadClass::kInteractive;
+    bool pred = ClassifyVm(vm) == WorkloadClass::kInteractive;
+    if (truth && pred) ++tp;
+    if (!truth && pred) ++fp;
+    if (truth && !pred) ++fn;
+    if (!truth && !pred) ++tn;
+  }
+  ASSERT_GT(tp + fn, 10);  // the trace must contain interactive VMs
+  EXPECT_GE(static_cast<double>(tp) / static_cast<double>(tp + fn), 0.95);
+  EXPECT_GE(static_cast<double>(tp) / static_cast<double>(tp + fp), 0.8);
+}
+
+}  // namespace
+}  // namespace rc::analysis

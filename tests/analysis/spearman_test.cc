@@ -1,0 +1,82 @@
+#include "src/analysis/spearman.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rc::analysis {
+namespace {
+
+TEST(FractionalRanksTest, SimpleOrdering) {
+  auto ranks = FractionalRanks(std::vector<double>{30.0, 10.0, 20.0});
+  EXPECT_EQ(ranks, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(FractionalRanksTest, TiesGetAverageRank) {
+  auto ranks = FractionalRanks(std::vector<double>{5.0, 1.0, 5.0});
+  // 1.0 -> rank 1; the two 5.0s share ranks 2 and 3 -> 2.5 each.
+  EXPECT_EQ(ranks, (std::vector<double>{2.5, 1.0, 2.5}));
+}
+
+TEST(SpearmanTest, PerfectMonotone) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {10, 100, 1000, 10000, 100000};
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+  std::vector<double> z = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(SpearmanCorrelation(x, z), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, RobustToMonotoneTransforms) {
+  Rng rng(3);
+  std::vector<double> x(500), y(500);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = std::exp(2.0 * x[i]);  // monotone transform
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, IndependentNearZero) {
+  Rng rng(5);
+  std::vector<double> x(5000), y(5000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.Normal();
+    y[i] = rng.Normal();
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 0.0, 0.05);
+}
+
+TEST(SpearmanTest, DegenerateInputs) {
+  EXPECT_EQ(SpearmanCorrelation(std::vector<double>{1.0}, std::vector<double>{2.0}), 0.0);
+  std::vector<double> constant = {3.0, 3.0, 3.0};
+  std::vector<double> varying = {1.0, 2.0, 3.0};
+  EXPECT_EQ(SpearmanCorrelation(constant, varying), 0.0);
+  EXPECT_THROW(
+      SpearmanCorrelation(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+      std::invalid_argument);
+}
+
+TEST(SpearmanMatrixTest, SymmetricWithUnitDiagonal) {
+  Rng rng(7);
+  std::vector<std::vector<double>> cols(3, std::vector<double>(200));
+  for (auto& col : cols) {
+    for (auto& v : col) v = rng.Normal();
+  }
+  // Make column 2 correlated with column 0.
+  for (size_t i = 0; i < 200; ++i) cols[2][i] = cols[0][i] + 0.1 * cols[2][i];
+  auto m = SpearmanMatrix({"a", "b", "c"}, cols);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m.at(i, i), 1.0);
+    for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+  }
+  EXPECT_GT(m.at(0, 2), 0.9);
+}
+
+TEST(SpearmanMatrixTest, ValidatesShape) {
+  EXPECT_THROW(SpearmanMatrix({"a"}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rc::analysis

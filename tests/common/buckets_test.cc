@@ -1,0 +1,93 @@
+#include "src/common/buckets.h"
+
+#include <gtest/gtest.h>
+
+namespace rc {
+namespace {
+
+TEST(BucketsTest, UtilizationBucketBoundaries) {
+  EXPECT_EQ(UtilizationBucket(0.0), 0);
+  EXPECT_EQ(UtilizationBucket(0.2499), 0);
+  EXPECT_EQ(UtilizationBucket(0.25), 1);
+  EXPECT_EQ(UtilizationBucket(0.4999), 1);
+  EXPECT_EQ(UtilizationBucket(0.50), 2);
+  EXPECT_EQ(UtilizationBucket(0.75), 3);
+  EXPECT_EQ(UtilizationBucket(1.0), 3);
+}
+
+TEST(BucketsTest, DeploymentSizeBucketsMatchTable3) {
+  EXPECT_EQ(DeploymentSizeBucket(1), 0);
+  EXPECT_EQ(DeploymentSizeBucket(2), 1);
+  EXPECT_EQ(DeploymentSizeBucket(10), 1);
+  EXPECT_EQ(DeploymentSizeBucket(11), 2);
+  EXPECT_EQ(DeploymentSizeBucket(100), 2);
+  EXPECT_EQ(DeploymentSizeBucket(101), 3);
+  EXPECT_EQ(DeploymentSizeBucket(100000), 3);
+}
+
+TEST(BucketsTest, LifetimeBucketsMatchTable3) {
+  EXPECT_EQ(LifetimeBucket(1), 0);
+  EXPECT_EQ(LifetimeBucket(15 * kMinute), 0);
+  EXPECT_EQ(LifetimeBucket(15 * kMinute + 1), 1);
+  EXPECT_EQ(LifetimeBucket(60 * kMinute), 1);
+  EXPECT_EQ(LifetimeBucket(60 * kMinute + 1), 2);
+  EXPECT_EQ(LifetimeBucket(24 * kHour), 2);
+  EXPECT_EQ(LifetimeBucket(24 * kHour + 1), 3);
+  EXPECT_EQ(LifetimeBucket(90 * kDay), 3);
+}
+
+TEST(BucketsTest, NumBuckets) {
+  for (Metric m : kAllMetrics) {
+    EXPECT_EQ(NumBuckets(m), m == Metric::kClass ? 2 : 4);
+  }
+}
+
+TEST(BucketsTest, UtilizationBucketRangeRoundTrips) {
+  for (int b = 0; b < 4; ++b) {
+    BucketRange range = UtilizationBucketRange(b);
+    double mid = (range.lo + range.hi) / 2.0;
+    EXPECT_EQ(UtilizationBucket(mid), b);
+  }
+  EXPECT_THROW(UtilizationBucketRange(4), std::out_of_range);
+  EXPECT_THROW(UtilizationBucketRange(-1), std::out_of_range);
+}
+
+TEST(BucketsTest, NamesAreDistinct) {
+  std::set<std::string> names, models;
+  for (Metric m : kAllMetrics) {
+    names.insert(MetricName(m));
+    models.insert(MetricModelName(m));
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumMetrics));
+  EXPECT_EQ(models.size(), static_cast<size_t>(kNumMetrics));
+}
+
+TEST(BucketsTest, Labels) {
+  EXPECT_EQ(BucketLabel(Metric::kAvgCpu, 0), "0-25%");
+  EXPECT_EQ(BucketLabel(Metric::kLifetime, 3), ">24 h");
+  EXPECT_EQ(BucketLabel(Metric::kClass, 1), "Interactive");
+  EXPECT_EQ(BucketLabel(Metric::kDeployVms, 0), "1");
+}
+
+TEST(SimTimeTest, SlotHelpers) {
+  EXPECT_EQ(SlotIndex(0), 0);
+  EXPECT_EQ(SlotIndex(kSlot - 1), 0);
+  EXPECT_EQ(SlotIndex(kSlot), 1);
+  EXPECT_EQ(SlotStart(3), 3 * kSlot);
+  EXPECT_EQ(kSlotsPerDay, 288);
+  EXPECT_EQ(kSlotsPerHour, 12);
+}
+
+TEST(SimTimeTest, CalendarHelpers) {
+  EXPECT_EQ(HourOfDay(0), 0);
+  EXPECT_EQ(HourOfDay(13 * kHour + 30 * kMinute), 13);
+  EXPECT_EQ(DayOfWeek(0), 0);
+  EXPECT_EQ(DayOfWeek(6 * kDay), 6);
+  EXPECT_EQ(DayOfWeek(7 * kDay), 0);
+  EXPECT_FALSE(IsWeekend(4 * kDay));
+  EXPECT_TRUE(IsWeekend(5 * kDay));
+  EXPECT_TRUE(IsWeekend(6 * kDay + 3 * kHour));
+}
+
+}  // namespace
+}  // namespace rc

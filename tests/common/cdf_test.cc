@@ -1,0 +1,85 @@
+#include "src/common/cdf.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rc {
+namespace {
+
+TEST(EmpiricalCdfTest, EvalBasics) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.Eval(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Eval(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.Eval(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.Eval(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Eval(100.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, AddThenFinalize) {
+  EmpiricalCdf cdf;
+  cdf.Add(3.0);
+  cdf.Add(1.0);
+  cdf.Add(2.0);
+  cdf.Finalize();
+  EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+  EXPECT_NEAR(cdf.Eval(1.5), 1.0 / 3.0, 1e-12);
+}
+
+TEST(EmpiricalCdfTest, EvalBeforeFinalizeThrows) {
+  EmpiricalCdf cdf;
+  cdf.Add(1.0);
+  EXPECT_THROW(cdf.Eval(0.0), std::logic_error);
+}
+
+TEST(EmpiricalCdfTest, QuantileInverseRelationship) {
+  Rng rng(5);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 5000; ++i) cdf.Add(rng.Normal(0.0, 1.0));
+  cdf.Finalize();
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    double x = cdf.Quantile(q);
+    EXPECT_NEAR(cdf.Eval(x), q, 0.01) << "q=" << q;
+  }
+}
+
+TEST(EmpiricalCdfTest, QuantileEdges) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 20.0);
+}
+
+TEST(EmpiricalCdfTest, CurveIsMonotone) {
+  Rng rng(7);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.Add(rng.LogNormal(0.0, 1.0));
+  cdf.Finalize();
+  auto curve = cdf.Curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    ASSERT_GE(curve[i].first, curve[i - 1].first);
+    ASSERT_GT(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdfTest, TabulateAtFormatsLines) {
+  EmpiricalCdf cdf({1.0, 2.0});
+  std::string out = cdf.TabulateAt({1.0, 2.0});
+  EXPECT_EQ(out, "1\t0.5\n2\t1\n");
+}
+
+TEST(EmpiricalCdfTest, UniformSamplesMatchUniformCdf) {
+  Rng rng(11);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 20000; ++i) cdf.Add(rng.NextDouble());
+  cdf.Finalize();
+  for (double x = 0.1; x < 1.0; x += 0.1) {
+    EXPECT_NEAR(cdf.Eval(x), x, 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,61 @@
+#include "src/common/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace rc {
+namespace {
+
+TEST(CsvTest, SplitBasic) {
+  auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvTest, SplitEmptyFields) {
+  auto fields = SplitCsvLine(",x,");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "");
+  EXPECT_EQ(fields[1], "x");
+  EXPECT_EQ(fields[2], "");
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  std::stringstream ss;
+  CsvWriter writer(ss);
+  writer.WriteRow({"id", "name"});
+  writer.WriteRow({"1", "alpha"});
+  writer.WriteRow({"2", "beta"});
+
+  CsvReader reader(ss);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row, (std::vector<std::string>{"id", "name"}));
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row[1], "alpha");
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_FALSE(reader.ReadRow(row));
+}
+
+TEST(CsvTest, WriterRejectsFieldsNeedingQuotes) {
+  std::stringstream ss;
+  CsvWriter writer(ss);
+  EXPECT_THROW(writer.WriteRow({"a,b"}), std::invalid_argument);
+  EXPECT_THROW(writer.WriteRow({"a\nb"}), std::invalid_argument);
+}
+
+TEST(CsvTest, ReaderSkipsBlankLinesAndCrLf) {
+  std::stringstream ss("a,b\r\n\r\n\nc,d\r\n");
+  CsvReader reader(ss);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row[1], "b");
+  ASSERT_TRUE(reader.ReadRow(row));
+  EXPECT_EQ(row[0], "c");
+  EXPECT_FALSE(reader.ReadRow(row));
+}
+
+}  // namespace
+}  // namespace rc

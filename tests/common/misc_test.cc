@@ -1,0 +1,58 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "src/common/hashing.h"
+#include "src/common/table_printer.h"
+
+namespace rc {
+namespace {
+
+TEST(HashingTest, Fnv1aStableKnownValue) {
+  // FNV-1a of empty input is the offset basis.
+  EXPECT_EQ(Fnv1a(""), kFnvOffset);
+  // Stability across calls (process-independence is by construction: pure
+  // arithmetic on bytes).
+  EXPECT_EQ(Fnv1a("resource-central"), Fnv1a("resource-central"));
+  EXPECT_NE(Fnv1a("a"), Fnv1a("b"));
+}
+
+TEST(HashingTest, HashCombineOrderSensitive) {
+  uint64_t a = HashCombine(Fnv1a("x"), 1);
+  uint64_t b = HashCombine(Fnv1a("x"), 2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(HashingTest, HashU64Bijective) {
+  // Distinct small inputs map to distinct outputs (spot check).
+  std::set<uint64_t> seen;
+  for (uint64_t i = 0; i < 1000; ++i) seen.insert(HashU64(i));
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "v"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "22"});
+  std::string out = table.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ShortRowsPadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_NO_THROW(table.ToString());
+}
+
+TEST(TablePrinterTest, Formatting) {
+  EXPECT_EQ(TablePrinter::Fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Pct(0.815, 1), "81.5%");
+}
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,223 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace rc {
+namespace {
+
+TEST(SplitMix64Test, DeterministicSequence) {
+  uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  }
+}
+
+TEST(SplitMix64Test, AdvancesState) {
+  uint64_t s = 42;
+  uint64_t a = SplitMix64(s);
+  uint64_t b = SplitMix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, UniformIntUnbiased) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  int counts[kBuckets] = {};
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.UniformInt(0, kBuckets - 1)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.1, 0.01);
+  }
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(RngTest, WeibullMeanMatchesClosedForm) {
+  Rng rng(19);
+  double shape = 0.6, scale = 10.0;
+  double sum = 0.0;
+  constexpr int kN = 300000;
+  for (int i = 0; i < kN; ++i) sum += rng.Weibull(shape, scale);
+  double expected = scale * std::tgamma(1.0 + 1.0 / shape);
+  EXPECT_NEAR(sum / kN, expected, expected * 0.03);
+}
+
+TEST(RngTest, WeibullShapeOneIsExponential) {
+  // Weibull(k=1, lambda) == Exponential(rate = 1/lambda).
+  Rng rng(23);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.Weibull(1.0, 4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.1);
+}
+
+TEST(RngTest, ParetoTailAndSupport) {
+  Rng rng(29);
+  double below = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    double x = rng.Pareto(2.0, 1.5);
+    ASSERT_GE(x, 2.0);
+    // P(X <= 4) = 1 - (2/4)^1.5
+    if (x <= 4.0) ++below;
+  }
+  EXPECT_NEAR(below / kN, 1.0 - std::pow(0.5, 1.5), 0.01);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[rng.Categorical(weights)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.01);
+}
+
+TEST(RngTest, CategoricalThrowsOnAllZero) {
+  Rng rng(43);
+  std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(rng.Categorical(weights), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(47);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng a(51);
+  Rng child = a.Fork();
+  // Child's stream should not replicate the parent's next outputs.
+  EXPECT_NE(a.NextU64(), child.NextU64());
+}
+
+TEST(DiscreteSamplerTest, MatchesCategorical) {
+  DiscreteSampler sampler({2.0, 1.0, 1.0});
+  Rng rng(53);
+  int counts[3] = {};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kN, 0.25, 0.01);
+}
+
+TEST(DiscreteSamplerTest, NegativeWeightsTreatedAsZero) {
+  DiscreteSampler sampler({-5.0, 1.0});
+  Rng rng(59);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(sampler.Sample(rng), 1u);
+}
+
+TEST(DiscreteSamplerTest, ThrowsWithoutPositiveWeight) {
+  EXPECT_THROW(DiscreteSampler({0.0, -1.0}), std::invalid_argument);
+}
+
+// Property sweep: sampled distributions should match their analytic CDF at
+// a few probe points (coarse Kolmogorov-style check).
+class WeibullSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeibullSweep, MedianMatchesClosedForm) {
+  double shape = GetParam();
+  Rng rng(61);
+  std::vector<double> xs(50000);
+  for (auto& x : xs) x = rng.Weibull(shape, 1.0);
+  std::nth_element(xs.begin(), xs.begin() + xs.size() / 2, xs.end());
+  double median = xs[xs.size() / 2];
+  double expected = std::pow(std::log(2.0), 1.0 / shape);
+  EXPECT_NEAR(median, expected, expected * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeibullSweep, ::testing::Values(0.5, 0.8, 1.0, 1.5, 2.5));
+
+}  // namespace
+}  // namespace rc

@@ -1,0 +1,112 @@
+// The paper's client is "a single, general, and thread-safe" library shared
+// by all callers in a process; these tests hammer one client from multiple
+// threads while the store pushes updates.
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/core/client.h"
+#include "src/core/offline_pipeline.h"
+#include "src/trace/workload_model.h"
+
+namespace rc::core {
+namespace {
+
+class ClientConcurrencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rc::trace::WorkloadConfig config;
+    config.target_vm_count = 4000;
+    config.num_subscriptions = 200;
+    config.seed = 777;
+    trace_ = new rc::trace::Trace(rc::trace::WorkloadModel(config).Generate());
+    PipelineConfig pipeline_config;
+    pipeline_config.rf.num_trees = 6;
+    pipeline_config.gbt.num_rounds = 6;
+    OfflinePipeline pipeline(pipeline_config);
+    trained_ = new TrainedModels(pipeline.Run(*trace_));
+  }
+
+  static const rc::trace::Trace* trace_;
+  static const TrainedModels* trained_;
+};
+
+const rc::trace::Trace* ClientConcurrencyTest::trace_ = nullptr;
+const TrainedModels* ClientConcurrencyTest::trained_ = nullptr;
+
+TEST_F(ClientConcurrencyTest, ParallelPredictionsConsistent) {
+  rc::store::KvStore store;
+  OfflinePipeline::Publish(*trained_, store);
+  Client client(&store, ClientConfig{});
+  ASSERT_TRUE(client.Initialize());
+
+  static const rc::trace::VmSizeCatalog catalog;
+  std::vector<ClientInputs> inputs;
+  for (const auto& vm : trace_->vms()) {
+    if (trained_->feature_data.contains(vm.subscription_id)) {
+      inputs.push_back(InputsFromVm(vm, catalog));
+    }
+    if (inputs.size() == 64) break;
+  }
+  ASSERT_FALSE(inputs.empty());
+
+  // Reference results, single-threaded.
+  std::vector<Prediction> expected;
+  for (const auto& in : inputs) expected.push_back(client.PredictSingle("VM_P95UTIL", in));
+
+  std::atomic<int> mismatches{0};
+  auto worker = [&](uint64_t seed) {
+    Rng rng(seed);
+    for (int iter = 0; iter < 2000; ++iter) {
+      size_t idx = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(inputs.size()) - 1));
+      Prediction p = client.PredictSingle("VM_P95UTIL", inputs[idx]);
+      if (!p.valid || p.bucket != expected[idx].bucket) mismatches.fetch_add(1);
+    }
+  };
+  std::thread t1(worker, 1), t2(worker, 2), t3(worker, 3);
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_F(ClientConcurrencyTest, PredictionsDuringPushes) {
+  rc::store::KvStore store;
+  OfflinePipeline::Publish(*trained_, store);
+  Client client(&store, ClientConfig{});
+  ASSERT_TRUE(client.Initialize());
+
+  static const rc::trace::VmSizeCatalog catalog;
+  ClientInputs inputs;
+  for (const auto& vm : trace_->vms()) {
+    if (trained_->feature_data.contains(vm.subscription_id)) {
+      inputs = InputsFromVm(vm, catalog);
+      break;
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread pusher([&] {
+    // Republishing feature data exercises the push listener + result-cache
+    // invalidation path concurrently with predictions.
+    for (int i = 0; i < 300; ++i) {
+      store.Put(FeatureKey(inputs.subscription_id),
+                trained_->feature_data.at(inputs.subscription_id).Serialize());
+    }
+    stop = true;
+  });
+  int64_t valid = 0, total = 0;
+  while (!stop) {
+    Prediction p = client.PredictSingle("VM_P95UTIL", inputs);
+    ++total;
+    if (p.valid) ++valid;
+  }
+  pusher.join();
+  EXPECT_EQ(valid, total);  // feature data never disappears mid-push
+  EXPECT_GT(total, 0);
+}
+
+}  // namespace
+}  // namespace rc::core

@@ -1,0 +1,128 @@
+#include "src/ml/dataset.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rc::ml {
+namespace {
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset d({"a", "b"});
+  double r1[] = {1.0, 2.0};
+  double r2[] = {3.0, 4.0};
+  d.AddRow(r1, 0);
+  d.AddRow(r2, 1);
+  EXPECT_EQ(d.num_rows(), 2u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(d.Value(1, 0), 3.0);
+  EXPECT_EQ(d.Label(1), 1);
+  EXPECT_EQ(d.Row(0)[1], 2.0);
+  EXPECT_EQ(d.NumClasses(), 2);
+}
+
+TEST(DatasetTest, RejectsWrongArity) {
+  Dataset d({"a", "b"});
+  double r[] = {1.0};
+  EXPECT_THROW(d.AddRow(r, 0), std::invalid_argument);
+}
+
+TEST(DatasetTest, RejectsNaN) {
+  Dataset d({"a"});
+  double r[] = {std::nan("")};
+  EXPECT_THROW(d.AddRow(r, 0), std::invalid_argument);
+}
+
+TEST(DatasetTest, NumClassesFromMaxLabel) {
+  Dataset d({"a"});
+  double r[] = {0.0};
+  d.AddRow(r, 3);
+  EXPECT_EQ(d.NumClasses(), 4);
+}
+
+TEST(FeatureBinnerTest, LowCardinalityGetsExactBins) {
+  Dataset d({"cat"});
+  for (int i = 0; i < 100; ++i) {
+    double v = static_cast<double>(i % 3);  // values 0, 1, 2
+    d.AddRow({&v, 1}, 0);
+  }
+  FeatureBinner binner = FeatureBinner::Fit(d, 64);
+  EXPECT_EQ(binner.NumBins(0), 3);
+  EXPECT_EQ(binner.Bin(0, 0.0), 0);
+  EXPECT_EQ(binner.Bin(0, 1.0), 1);
+  EXPECT_EQ(binner.Bin(0, 2.0), 2);
+  EXPECT_EQ(binner.Bin(0, 99.0), 2);
+  EXPECT_EQ(binner.Bin(0, -5.0), 0);
+}
+
+TEST(FeatureBinnerTest, SplitThresholdConsistentWithBinning) {
+  Rng rng(3);
+  Dataset d({"x"});
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Normal(0.0, 1.0);
+    d.AddRow({&v, 1}, 0);
+  }
+  FeatureBinner binner = FeatureBinner::Fit(d, 16);
+  for (int b = 0; b + 1 < binner.NumBins(0); ++b) {
+    double threshold = binner.SplitThreshold(0, b);
+    // Invariant: bin(v) <= b  <=>  v < threshold.
+    EXPECT_GT(binner.Bin(0, threshold), b);
+    EXPECT_LE(binner.Bin(0, std::nextafter(threshold, -1e9)), b);
+  }
+}
+
+TEST(FeatureBinnerTest, BinsRoughlyEqualFrequency) {
+  Rng rng(5);
+  Dataset d({"x"});
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    values.push_back(v);
+    d.AddRow({&v, 1}, 0);
+  }
+  FeatureBinner binner = FeatureBinner::Fit(d, 10);
+  std::vector<int> counts(static_cast<size_t>(binner.NumBins(0)), 0);
+  for (double v : values) counts[static_cast<size_t>(binner.Bin(0, v))]++;
+  for (int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(FeatureBinnerTest, ConstantFeatureSingleBin) {
+  Dataset d({"const"});
+  for (int i = 0; i < 50; ++i) {
+    double v = 7.0;
+    d.AddRow({&v, 1}, 0);
+  }
+  FeatureBinner binner = FeatureBinner::Fit(d, 8);
+  EXPECT_EQ(binner.NumBins(0), 1);
+}
+
+TEST(FeatureBinnerTest, TransformColumnMajor) {
+  Dataset d({"x", "y"});
+  double r1[] = {0.0, 10.0};
+  double r2[] = {1.0, 20.0};
+  double r3[] = {2.0, 30.0};
+  d.AddRow(r1, 0);
+  d.AddRow(r2, 0);
+  d.AddRow(r3, 0);
+  FeatureBinner binner = FeatureBinner::Fit(d, 8);
+  std::vector<uint8_t> bins = binner.Transform(d);
+  ASSERT_EQ(bins.size(), 6u);
+  // Column 0 occupies the first num_rows entries.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(bins[i], static_cast<uint8_t>(binner.Bin(0, d.Value(i, 0))));
+    EXPECT_EQ(bins[3 + i], static_cast<uint8_t>(binner.Bin(1, d.Value(i, 1))));
+  }
+}
+
+TEST(FeatureBinnerTest, RejectsBadMaxBins) {
+  Dataset d({"x"});
+  double v = 0.0;
+  d.AddRow({&v, 1}, 0);
+  EXPECT_THROW(FeatureBinner::Fit(d, 1), std::invalid_argument);
+  EXPECT_THROW(FeatureBinner::Fit(d, 300), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rc::ml

@@ -1,0 +1,250 @@
+// Random Forest and Gradient Boosted Trees behaviour, serialization, and the
+// classifier registry.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/ml/gbt.h"
+#include "src/ml/random_forest.h"
+
+namespace rc::ml {
+namespace {
+
+// Noisy 3-class problem over 3 features.
+Dataset MakeMulticlass(uint64_t seed, int n) {
+  Rng rng(seed);
+  Dataset d({"x0", "x1", "x2"});
+  for (int i = 0; i < n; ++i) {
+    double row[3] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    int label = row[0] + 0.5 * row[1] > 0.8 ? (row[2] > 0.5 ? 2 : 1) : 0;
+    if (rng.Bernoulli(0.05)) label = static_cast<int>(rng.UniformInt(0, 2));
+    d.AddRow(row, label);
+  }
+  return d;
+}
+
+double Accuracy(const Classifier& model, const Dataset& test) {
+  int correct = 0;
+  for (size_t i = 0; i < test.num_rows(); ++i) {
+    if (model.PredictScored(test.Row(i)).label == test.Label(i)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.num_rows());
+}
+
+TEST(RandomForestTest, LearnsMulticlass) {
+  Dataset train = MakeMulticlass(1, 6000);
+  Dataset test = MakeMulticlass(2, 2000);
+  RandomForestConfig config;
+  config.num_trees = 30;
+  RandomForest forest = RandomForest::Fit(train, config);
+  EXPECT_EQ(forest.num_classes(), 3);
+  EXPECT_EQ(forest.num_features(), 3);
+  EXPECT_EQ(forest.tree_count(), 30u);
+  EXPECT_GT(Accuracy(forest, test), 0.9);
+}
+
+TEST(RandomForestTest, ProbabilitiesNormalized) {
+  Dataset train = MakeMulticlass(3, 2000);
+  RandomForestConfig config;
+  config.num_trees = 10;
+  RandomForest forest = RandomForest::Fit(train, config);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    double row[3] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    auto probs = forest.PredictProba(row);
+    double sum = probs[0] + probs[1] + probs[2];
+    ASSERT_NEAR(sum, 1.0, 1e-6);  // leaf distributions are floats
+    for (double p : probs) ASSERT_GE(p, 0.0);
+  }
+}
+
+TEST(RandomForestTest, DeterministicAcrossThreadCounts) {
+  Dataset train = MakeMulticlass(5, 1500);
+  RandomForestConfig one_thread;
+  one_thread.num_trees = 8;
+  one_thread.num_threads = 1;
+  RandomForestConfig two_threads = one_thread;
+  two_threads.num_threads = 2;
+  RandomForest a = RandomForest::Fit(train, one_thread);
+  RandomForest b = RandomForest::Fit(train, two_threads);
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    double row[3] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    auto pa = a.PredictProba(row);
+    auto pb = b.PredictProba(row);
+    for (size_t c = 0; c < pa.size(); ++c) ASSERT_EQ(pa[c], pb[c]);
+  }
+}
+
+TEST(RandomForestTest, SerializationRoundTrip) {
+  Dataset train = MakeMulticlass(7, 2000);
+  RandomForestConfig config;
+  config.num_trees = 12;
+  RandomForest forest = RandomForest::Fit(train, config);
+  auto bytes = forest.SerializeTagged();
+  auto restored = Classifier::DeserializeTagged(bytes);
+  EXPECT_STREQ(restored->type_name(), "random_forest");
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    double row[3] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    auto pa = forest.PredictProba(row);
+    auto pb = restored->PredictProba(row);
+    for (size_t c = 0; c < pa.size(); ++c) ASSERT_EQ(pa[c], pb[c]);
+  }
+}
+
+TEST(RandomForestTest, FeatureImportanceIdentifiesSignal) {
+  Rng rng(9);
+  Dataset d({"noise0", "signal", "noise1"});
+  for (int i = 0; i < 4000; ++i) {
+    double row[3] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    d.AddRow(row, row[1] > 0.55 ? 1 : 0);
+  }
+  RandomForestConfig config;
+  config.num_trees = 20;
+  RandomForest forest = RandomForest::Fit(d, config);
+  auto importance = forest.FeatureImportance();
+  ASSERT_EQ(importance.size(), 3u);
+  EXPECT_GT(importance[1], 0.7);
+  EXPECT_NEAR(importance[0] + importance[1] + importance[2], 1.0, 1e-9);
+}
+
+TEST(RandomForestTest, EmptyDataThrows) {
+  Dataset d({"x"});
+  EXPECT_THROW(RandomForest::Fit(d, RandomForestConfig{}), std::invalid_argument);
+}
+
+TEST(GbtTest, LearnsMulticlass) {
+  Dataset train = MakeMulticlass(11, 6000);
+  Dataset test = MakeMulticlass(12, 2000);
+  GbtConfig config;
+  config.num_rounds = 40;
+  GradientBoostedTrees model = GradientBoostedTrees::Fit(train, config);
+  EXPECT_EQ(model.num_classes(), 3);
+  EXPECT_EQ(model.tree_count(), 40u * 3u);  // K trees per round
+  EXPECT_GT(Accuracy(model, test), 0.9);
+}
+
+TEST(GbtTest, BinaryUsesSingleTreePerRound) {
+  Rng rng(13);
+  Dataset train({"a", "b"});
+  for (int i = 0; i < 3000; ++i) {
+    double row[2] = {rng.NextDouble(), rng.NextDouble()};
+    train.AddRow(row, row[0] * row[0] + row[1] > 0.9 ? 1 : 0);
+  }
+  GbtConfig config;
+  config.num_rounds = 30;
+  GradientBoostedTrees model = GradientBoostedTrees::Fit(train, config);
+  EXPECT_EQ(model.tree_count(), 30u);
+  EXPECT_GT(Accuracy(model, train), 0.97);
+}
+
+TEST(GbtTest, ProbabilitiesNormalized) {
+  Dataset train = MakeMulticlass(14, 1500);
+  GbtConfig config;
+  config.num_rounds = 10;
+  GradientBoostedTrees model = GradientBoostedTrees::Fit(train, config);
+  Rng rng(15);
+  for (int i = 0; i < 100; ++i) {
+    double row[3] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    auto probs = model.PredictProba(row);
+    ASSERT_NEAR(probs[0] + probs[1] + probs[2], 1.0, 1e-9);
+  }
+}
+
+TEST(GbtTest, MoreRoundsReduceTrainLoss) {
+  Dataset train = MakeMulticlass(16, 3000);
+  GbtConfig short_config;
+  short_config.num_rounds = 3;
+  GbtConfig long_config;
+  long_config.num_rounds = 40;
+  auto short_model = GradientBoostedTrees::Fit(train, short_config);
+  auto long_model = GradientBoostedTrees::Fit(train, long_config);
+  EXPECT_GT(Accuracy(long_model, train), Accuracy(short_model, train));
+}
+
+TEST(GbtTest, ClassWeightBoostsMinorityRecall) {
+  // Imbalanced binary problem with overlapping classes: upweighting the
+  // rare class must increase its recall.
+  Rng rng(17);
+  Dataset train({"x"});
+  auto make = [&](Dataset& d, int n) {
+    for (int i = 0; i < n; ++i) {
+      bool rare = rng.Bernoulli(0.03);
+      double v = rare ? rng.Normal(0.6, 0.2) : rng.Normal(0.4, 0.2);
+      d.AddRow({&v, 1}, rare ? 1 : 0);
+    }
+  };
+  make(train, 8000);
+  Dataset test({"x"});
+  make(test, 4000);
+
+  GbtConfig plain;
+  plain.num_rounds = 20;
+  GbtConfig weighted = plain;
+  weighted.class_weights = {1.0, 25.0};
+
+  auto recall = [&](const Classifier& m) {
+    int tp = 0, fn = 0;
+    for (size_t i = 0; i < test.num_rows(); ++i) {
+      if (test.Label(i) != 1) continue;
+      if (m.PredictScored(test.Row(i)).label == 1) {
+        ++tp;
+      } else {
+        ++fn;
+      }
+    }
+    return static_cast<double>(tp) / static_cast<double>(tp + fn);
+  };
+  auto m_plain = GradientBoostedTrees::Fit(train, plain);
+  auto m_weighted = GradientBoostedTrees::Fit(train, weighted);
+  EXPECT_GT(recall(m_weighted), recall(m_plain) + 0.2);
+}
+
+TEST(GbtTest, ClassWeightSizeValidated) {
+  Dataset train = MakeMulticlass(18, 100);
+  GbtConfig config;
+  config.class_weights = {1.0, 2.0};  // 3 classes
+  EXPECT_THROW(GradientBoostedTrees::Fit(train, config), std::invalid_argument);
+}
+
+TEST(GbtTest, SerializationRoundTrip) {
+  Dataset train = MakeMulticlass(19, 2000);
+  GbtConfig config;
+  config.num_rounds = 15;
+  auto model = GradientBoostedTrees::Fit(train, config);
+  auto restored = Classifier::DeserializeTagged(model.SerializeTagged());
+  EXPECT_STREQ(restored->type_name(), "gbt");
+  Rng rng(20);
+  for (int i = 0; i < 200; ++i) {
+    double row[3] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    auto pa = model.PredictProba(row);
+    auto pb = restored->PredictProba(row);
+    for (size_t c = 0; c < pa.size(); ++c) ASSERT_EQ(pa[c], pb[c]);
+  }
+}
+
+TEST(ClassifierRegistryTest, UnknownTagThrows) {
+  ByteWriter w;
+  w.String("mystery_model");
+  auto bytes = w.TakeBytes();
+  EXPECT_THROW(Classifier::DeserializeTagged(bytes), std::runtime_error);
+}
+
+TEST(ClassifierTest, PredictScoredPicksArgmax) {
+  Dataset train = MakeMulticlass(21, 3000);
+  RandomForestConfig config;
+  config.num_trees = 10;
+  RandomForest forest = RandomForest::Fit(train, config);
+  Rng rng(22);
+  for (int i = 0; i < 100; ++i) {
+    double row[3] = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    auto probs = forest.PredictProba(row);
+    auto scored = forest.PredictScored(row);
+    double max_p = *std::max_element(probs.begin(), probs.end());
+    ASSERT_EQ(scored.score, max_p);
+    ASSERT_EQ(probs[static_cast<size_t>(scored.label)], max_p);
+  }
+}
+
+}  // namespace
+}  // namespace rc::ml

@@ -1,0 +1,123 @@
+#include "src/ml/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rc::ml {
+namespace {
+
+TEST(FftTest, NextPow2) {
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(1024), 1024u);
+  EXPECT_EQ(NextPow2(1025), 2048u);
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> a(3);
+  EXPECT_THROW(Fft(a), std::invalid_argument);
+  std::vector<std::complex<double>> empty;
+  EXPECT_THROW(Fft(empty), std::invalid_argument);
+}
+
+TEST(FftTest, DeltaTransformsToFlatSpectrum) {
+  std::vector<std::complex<double>> a(8, {0.0, 0.0});
+  a[0] = {1.0, 0.0};
+  Fft(a);
+  for (const auto& x : a) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, ForwardInverseIdentity) {
+  Rng rng(3);
+  std::vector<std::complex<double>> a(256);
+  std::vector<std::complex<double>> orig(256);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = {rng.Normal(), rng.Normal()};
+    orig[i] = a[i];
+  }
+  Fft(a, false);
+  Fft(a, true);
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i].real(), orig[i].real(), 1e-9);
+    ASSERT_NEAR(a[i].imag(), orig[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, ParsevalHolds) {
+  Rng rng(5);
+  const size_t n = 128;
+  std::vector<std::complex<double>> a(n);
+  double time_energy = 0.0;
+  for (auto& x : a) {
+    x = {rng.Normal(), 0.0};
+    time_energy += std::norm(x);
+  }
+  Fft(a);
+  double freq_energy = 0.0;
+  for (const auto& x : a) freq_energy += std::norm(x);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n), 1e-6);
+}
+
+TEST(FftTest, PureToneLandsInCorrectBin) {
+  const size_t n = 512;
+  std::vector<std::complex<double>> a(n);
+  const size_t k = 37;
+  for (size_t i = 0; i < n; ++i) {
+    double phase = 2.0 * std::numbers::pi * static_cast<double>(k * i) / n;
+    a[i] = {std::cos(phase), 0.0};
+  }
+  Fft(a);
+  // Energy splits between bins k and n-k for a real cosine.
+  for (size_t b = 0; b < n; ++b) {
+    if (b == k || b == n - k) {
+      EXPECT_NEAR(std::abs(a[b]), n / 2.0, 1e-6);
+    } else {
+      EXPECT_LT(std::abs(a[b]), 1e-6);
+    }
+  }
+}
+
+TEST(PowerSpectrumTest, SinusoidPeaksAtFrequency) {
+  const size_t n = 1000;  // not a power of two: exercises padding
+  std::vector<double> signal(n);
+  for (size_t i = 0; i < n; ++i) {
+    signal[i] = 5.0 + std::sin(2.0 * std::numbers::pi * static_cast<double>(i) / 100.0);
+  }
+  auto power = PowerSpectrum(signal, /*hann_window=*/true);
+  // Padded to 1024; one cycle per 100 samples -> bin ~10.24.
+  size_t peak = 1;
+  for (size_t b = 2; b < power.size(); ++b) {
+    if (power[b] > power[peak]) peak = b;
+  }
+  EXPECT_NEAR(static_cast<double>(peak), 1024.0 / 100.0, 1.5);
+  // DC suppressed by mean removal.
+  EXPECT_LT(power[0], power[peak] * 1e-6);
+}
+
+TEST(PowerSpectrumTest, WhiteNoiseHasNoDominantPeak) {
+  Rng rng(7);
+  std::vector<double> signal(1024);
+  for (auto& x : signal) x = rng.NextDouble();
+  auto power = PowerSpectrum(signal);
+  double total = 0.0, max_bin = 0.0;
+  for (size_t b = 1; b < power.size(); ++b) {
+    total += power[b];
+    max_bin = std::max(max_bin, power[b]);
+  }
+  EXPECT_LT(max_bin / total, 0.05);
+}
+
+TEST(PowerSpectrumTest, EmptySignal) {
+  EXPECT_TRUE(PowerSpectrum({}).empty());
+}
+
+}  // namespace
+}  // namespace rc::ml

@@ -1,0 +1,136 @@
+#include "src/ml/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/ml/bytes.h"
+
+namespace rc::ml {
+namespace {
+
+TEST(ConfusionMatrixTest, PerfectPredictions) {
+  ConfusionMatrix m(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 10; ++i) m.Add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(m.Precision(c), 1.0);
+    EXPECT_DOUBLE_EQ(m.Recall(c), 1.0);
+    EXPECT_NEAR(m.Prevalence(c), 1.0 / 3.0, 1e-12);
+  }
+}
+
+TEST(ConfusionMatrixTest, KnownValues) {
+  // true=0: predicted 0 x8, 1 x2. true=1: predicted 1 x5, 0 x5.
+  ConfusionMatrix m(2);
+  for (int i = 0; i < 8; ++i) m.Add(0, 0);
+  for (int i = 0; i < 2; ++i) m.Add(0, 1);
+  for (int i = 0; i < 5; ++i) m.Add(1, 1);
+  for (int i = 0; i < 5; ++i) m.Add(1, 0);
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 13.0 / 20.0);
+  EXPECT_DOUBLE_EQ(m.Precision(0), 8.0 / 13.0);
+  EXPECT_DOUBLE_EQ(m.Recall(0), 0.8);
+  EXPECT_DOUBLE_EQ(m.Precision(1), 5.0 / 7.0);
+  EXPECT_DOUBLE_EQ(m.Recall(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.Prevalence(1), 0.5);
+  EXPECT_EQ(m.count(1, 0), 5);
+}
+
+TEST(ConfusionMatrixTest, EmptyClassZeroes) {
+  ConfusionMatrix m(3);
+  m.Add(0, 0);
+  EXPECT_DOUBLE_EQ(m.Precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.Prevalence(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, Validation) {
+  EXPECT_THROW(ConfusionMatrix(1), std::invalid_argument);
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.Add(2, 0), std::out_of_range);
+  EXPECT_THROW(m.Add(0, -1), std::out_of_range);
+}
+
+TEST(ThresholdedAccumulatorTest, FiltersLowConfidence) {
+  ThresholdedAccumulator acc(0.6);
+  acc.Add(0, 0, 0.9);   // served, correct
+  acc.Add(0, 1, 0.8);   // served, wrong
+  acc.Add(1, 1, 0.59);  // not served
+  acc.Add(1, 1, 0.6);   // served, correct (boundary inclusive)
+  auto q = acc.Result();
+  EXPECT_EQ(q.total, 4);
+  EXPECT_EQ(q.served, 3);
+  EXPECT_DOUBLE_EQ(q.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(q.coverage, 0.75);
+}
+
+TEST(ThresholdedAccumulatorTest, EmptyResult) {
+  ThresholdedAccumulator acc(0.5);
+  auto q = acc.Result();
+  EXPECT_EQ(q.precision, 0.0);
+  EXPECT_EQ(q.coverage, 0.0);
+}
+
+TEST(LogLossTest, KnownValue) {
+  std::vector<std::vector<double>> probs = {{0.9, 0.1}, {0.2, 0.8}};
+  std::vector<int> labels = {0, 1};
+  double expected = -(std::log(0.9) + std::log(0.8)) / 2.0;
+  EXPECT_NEAR(LogLoss(probs, labels), expected, 1e-12);
+}
+
+TEST(LogLossTest, ClampsZeroProbability) {
+  std::vector<std::vector<double>> probs = {{0.0, 1.0}};
+  std::vector<int> labels = {0};
+  EXPECT_LT(LogLoss(probs, labels), 40.0);  // clamped, not inf
+}
+
+TEST(LogLossTest, Validation) {
+  EXPECT_THROW(LogLoss({}, {}), std::invalid_argument);
+  EXPECT_THROW(LogLoss({{1.0}}, {0, 1}), std::invalid_argument);
+}
+
+TEST(BytesTest, PodRoundTrip) {
+  ByteWriter w;
+  w.U32(7);
+  w.U64(1ull << 40);
+  w.I32(-5);
+  w.F64(3.25);
+  w.F32(1.5f);
+  w.String("hello");
+  w.PodVector(std::vector<double>{1.0, 2.0});
+  auto bytes = w.TakeBytes();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.U32(), 7u);
+  EXPECT_EQ(r.U64(), 1ull << 40);
+  EXPECT_EQ(r.I32(), -5);
+  EXPECT_EQ(r.F64(), 3.25);
+  EXPECT_EQ(r.F32(), 1.5f);
+  EXPECT_EQ(r.String(), "hello");
+  EXPECT_EQ(r.PodVector<double>(), (std::vector<double>{1.0, 2.0}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, TruncationDetected) {
+  ByteWriter w;
+  w.String("abcdef");
+  auto bytes = w.TakeBytes();
+  bytes.resize(bytes.size() - 2);
+  ByteReader r(bytes);
+  EXPECT_THROW(r.String(), std::runtime_error);
+}
+
+TEST(BytesTest, EmptyStringAndVector) {
+  ByteWriter w;
+  w.String("");
+  w.PodVector(std::vector<int32_t>{});
+  auto bytes = w.TakeBytes();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.String(), "");
+  EXPECT_TRUE(r.PodVector<int32_t>().empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace rc::ml

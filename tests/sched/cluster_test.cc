@@ -1,0 +1,72 @@
+#include "src/sched/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace rc::sched {
+namespace {
+
+VmRequest Vm(int cores, double mem, bool production, double util = 1.0) {
+  VmRequest vm;
+  vm.cores = cores;
+  vm.memory_gb = mem;
+  vm.production = production;
+  vm.predicted_util_fraction = util;
+  return vm;
+}
+
+ClusterConfig SmallCluster() { return ClusterConfig{4, 16, 112.0}; }
+
+TEST(ClusterTest, PlaceTagsEmptyServer) {
+  Cluster cluster(SmallCluster());
+  cluster.PlaceVm(Vm(2, 7, /*production=*/true), 0);
+  EXPECT_EQ(cluster.server(0).kind, ServerKind::kNonOversubscribable);
+  cluster.PlaceVm(Vm(2, 7, /*production=*/false), 1);
+  EXPECT_EQ(cluster.server(1).kind, ServerKind::kOversubscribable);
+}
+
+TEST(ClusterTest, LedgersTrackPlacements) {
+  Cluster cluster(SmallCluster());
+  VmRequest a = Vm(4, 14, false, 0.5);
+  VmRequest b = Vm(2, 7, false, 0.25);
+  cluster.PlaceVm(a, 0);
+  cluster.PlaceVm(b, 0);
+  const Server& s = cluster.server(0);
+  EXPECT_DOUBLE_EQ(s.alloc_cores, 6.0);
+  EXPECT_DOUBLE_EQ(s.alloc_mem, 21.0);
+  EXPECT_DOUBLE_EQ(s.util_cores, 0.5 * 4 + 0.25 * 2);
+  EXPECT_EQ(s.active_vms, 2);
+  cluster.CompleteVm(a, 0);
+  EXPECT_DOUBLE_EQ(cluster.server(0).alloc_cores, 2.0);
+  EXPECT_DOUBLE_EQ(cluster.server(0).util_cores, 0.5);
+}
+
+TEST(ClusterTest, ProductionServersSkipUtilLedger) {
+  Cluster cluster(SmallCluster());
+  cluster.PlaceVm(Vm(4, 14, /*production=*/true, 0.5), 0);
+  EXPECT_DOUBLE_EQ(cluster.server(0).util_cores, 0.0);
+}
+
+TEST(ClusterTest, DrainResetsToEmpty) {
+  Cluster cluster(SmallCluster());
+  VmRequest vm = Vm(4, 14, false, 0.3);
+  cluster.PlaceVm(vm, 2);
+  EXPECT_FALSE(cluster.server(2).empty());
+  cluster.CompleteVm(vm, 2);
+  EXPECT_TRUE(cluster.server(2).empty());
+  EXPECT_DOUBLE_EQ(cluster.server(2).alloc_cores, 0.0);
+  // A drained server can be re-tagged by the next placement.
+  cluster.PlaceVm(Vm(1, 2, true), 2);
+  EXPECT_EQ(cluster.server(2).kind, ServerKind::kNonOversubscribable);
+}
+
+TEST(ClusterTest, FitChecks) {
+  Cluster cluster(SmallCluster());
+  cluster.PlaceVm(Vm(14, 100, true), 0);
+  EXPECT_TRUE(cluster.FitsStrict(Vm(2, 12, true), cluster.server(0)));
+  EXPECT_FALSE(cluster.FitsStrict(Vm(4, 4, true), cluster.server(0)));   // cores
+  EXPECT_FALSE(cluster.FitsStrict(Vm(2, 13, true), cluster.server(0)));  // memory
+  EXPECT_TRUE(cluster.FitsMemory(Vm(16, 12, true), cluster.server(0)));
+}
+
+}  // namespace
+}  // namespace rc::sched

@@ -1,0 +1,120 @@
+#include "src/sched/rules.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace rc::sched {
+namespace {
+
+VmRequest Vm(int cores, bool production, double util = 1.0) {
+  VmRequest vm;
+  vm.cores = cores;
+  vm.memory_gb = 1.0;
+  vm.production = production;
+  vm.predicted_util_fraction = util;
+  return vm;
+}
+
+std::vector<int> AllServers(const Cluster& cluster) {
+  std::vector<int> ids(static_cast<size_t>(cluster.size()));
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+class RulesTest : public ::testing::Test {
+ protected:
+  RulesTest() : cluster_(ClusterConfig{4, 16, 112.0}) {
+    // Server 0: production, half full. Server 1: oversubscribable with low
+    // booked utilization. Server 2: oversubscribable near the allocation
+    // cap. Server 3: empty.
+    cluster_.PlaceVm(Vm(8, true), 0);
+    cluster_.PlaceVm(Vm(8, false, 0.25), 1);
+    VmRequest big = Vm(16, false, 0.5);
+    cluster_.PlaceVm(big, 2);
+    cluster_.PlaceVm(Vm(3, false, 0.5), 2);  // alloc 19 of max 20 (125%)
+  }
+  Cluster cluster_;
+};
+
+TEST_F(RulesTest, StrictFitRule) {
+  StrictFitRule rule;
+  auto candidates = AllServers(cluster_);
+  rule.Filter(Vm(8, true), cluster_, candidates);
+  // Fits on 0 (8+8=16), 1 (8+8=16), 3 (empty); not 2 (19+8).
+  EXPECT_EQ(candidates, (std::vector<int>{0, 1, 3}));
+}
+
+TEST_F(RulesTest, OversubFitProductionSide) {
+  OversubFitRule rule(OversubParams{}, /*enforce_util_check=*/true);
+  auto candidates = AllServers(cluster_);
+  rule.Filter(Vm(4, true), cluster_, candidates);
+  // Production VMs: non-oversubscribable (0) or empty (3) with strict fit.
+  EXPECT_EQ(candidates, (std::vector<int>{0, 3}));
+}
+
+TEST_F(RulesTest, OversubFitNonProductionAllocationCap) {
+  OversubFitRule rule(OversubParams{1.25, 1.0}, /*enforce_util_check=*/false);
+  auto candidates = AllServers(cluster_);
+  rule.Filter(Vm(2, false, 0.5), cluster_, candidates);
+  // Oversubscribable (1: 8+2 <= 20; 2: 19+2 > 20) or empty (3).
+  EXPECT_EQ(candidates, (std::vector<int>{1, 3}));
+}
+
+TEST_F(RulesTest, OversubFitUtilizationCheckHardMode) {
+  OversubFitRule rule(OversubParams{1.25, 1.0}, /*enforce_util_check=*/true);
+  // A VM predicted to use 8 physical cores: server 1 has 2 booked -> 10 <=
+  // 16 OK; a VM predicted to use 16 cores would exceed MAX_UTIL on 1.
+  auto candidates = AllServers(cluster_);
+  rule.Filter(Vm(8, false, 1.0), cluster_, candidates);
+  EXPECT_EQ(candidates, (std::vector<int>{1, 3}));
+  candidates = AllServers(cluster_);
+  VmRequest hot = Vm(16, false, 1.0);  // 16 booked + 2 existing > 16
+  rule.Filter(hot, cluster_, candidates);
+  EXPECT_EQ(candidates, (std::vector<int>{3}));  // only the empty server
+}
+
+TEST_F(RulesTest, UtilizationCapRuleSoft) {
+  UtilizationCapRule rule(OversubParams{1.25, 1.0});
+  auto candidates = std::vector<int>{1, 2, 3};
+  rule.Filter(Vm(4, false, 1.0), cluster_, candidates);
+  // Server 2 has 9.5 booked cores; +4 = 13.5 <= 16 passes. Server 1: 2+4 ok.
+  EXPECT_EQ(candidates, (std::vector<int>{1, 2, 3}));
+  candidates = {1, 2, 3};
+  rule.Filter(Vm(8, false, 1.0), cluster_, candidates);
+  // Server 2: 9.5 + 8 = 17.5 > 16 dropped.
+  EXPECT_EQ(candidates, (std::vector<int>{1, 3}));
+}
+
+TEST_F(RulesTest, UtilizationCapIgnoresProduction) {
+  UtilizationCapRule rule(OversubParams{1.25, 1.0});
+  auto candidates = std::vector<int>{0, 1, 2, 3};
+  rule.Filter(Vm(16, true, 1.0), cluster_, candidates);
+  EXPECT_EQ(candidates.size(), 4u);  // untouched
+}
+
+TEST_F(RulesTest, AvoidOversubscriptionRule) {
+  AvoidOversubscriptionRule rule;
+  auto candidates = std::vector<int>{1, 2, 3};
+  rule.Filter(Vm(8, false, 0.5), cluster_, candidates);
+  // Server 1: 8+8=16 <= 16 (not oversubscribing); server 2: 19+8 would; 3 ok.
+  EXPECT_EQ(candidates, (std::vector<int>{1, 3}));
+}
+
+TEST_F(RulesTest, PreferNonEmptyRule) {
+  PreferNonEmptyRule rule;
+  auto candidates = AllServers(cluster_);
+  rule.Filter(Vm(1, true), cluster_, candidates);
+  EXPECT_EQ(candidates, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(RulesTest, RuleHardness) {
+  EXPECT_TRUE(StrictFitRule().hard());
+  EXPECT_TRUE(OversubFitRule(OversubParams{}, true).hard());
+  EXPECT_FALSE(UtilizationCapRule(OversubParams{}).hard());
+  EXPECT_FALSE(AvoidOversubscriptionRule().hard());
+  EXPECT_FALSE(PreferNonEmptyRule().hard());
+}
+
+}  // namespace
+}  // namespace rc::sched

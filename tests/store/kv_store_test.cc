@@ -1,0 +1,131 @@
+#include "src/store/kv_store.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace rc::store {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> b) { return {b}; }
+
+TEST(KvStoreTest, PutGetVersioning) {
+  KvStore store;
+  EXPECT_EQ(store.Put("k", Bytes({1})), 1u);
+  EXPECT_EQ(store.Put("k", Bytes({2})), 2u);
+  auto blob = store.Get("k");
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(blob->version, 2u);
+  EXPECT_EQ(blob->data, Bytes({2}));
+  EXPECT_EQ(store.GetVersion("k"), 2u);
+}
+
+TEST(KvStoreTest, MissingKey) {
+  KvStore store;
+  EXPECT_FALSE(store.Get("missing").has_value());
+  EXPECT_FALSE(store.GetVersion("missing").has_value());
+}
+
+TEST(KvStoreTest, ListKeysByPrefix) {
+  KvStore store;
+  store.Put("model/a", Bytes({1}));
+  store.Put("model/b", Bytes({1}));
+  store.Put("spec/a", Bytes({1}));
+  EXPECT_EQ(store.ListKeys("model/").size(), 2u);
+  EXPECT_EQ(store.ListKeys("").size(), 3u);
+  EXPECT_TRUE(store.ListKeys("zzz").empty());
+  EXPECT_EQ(store.key_count(), 3u);
+}
+
+TEST(KvStoreTest, OutageHidesData) {
+  KvStore store;
+  store.Put("k", Bytes({1}));
+  store.SetAvailable(false);
+  EXPECT_FALSE(store.available());
+  EXPECT_FALSE(store.Get("k").has_value());
+  EXPECT_TRUE(store.ListKeys("").empty());
+  store.SetAvailable(true);
+  EXPECT_TRUE(store.Get("k").has_value());
+}
+
+TEST(KvStoreTest, PushNotificationsOnPut) {
+  KvStore store;
+  std::vector<std::pair<std::string, uint64_t>> seen;
+  int id = store.Subscribe([&](const std::string& key, const VersionedBlob& blob) {
+    seen.emplace_back(key, blob.version);
+  });
+  store.Put("a", Bytes({1}));
+  store.Put("a", Bytes({2}));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, uint64_t>{"a", 1}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, uint64_t>{"a", 2}));
+  store.Unsubscribe(id);
+  store.Put("a", Bytes({3}));
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(KvStoreTest, ListenerMayCallBackIntoStore) {
+  // Listeners run outside the store lock; re-entrant reads must not
+  // deadlock (the RC client reads related keys when pushed).
+  KvStore store;
+  store.Put("other", Bytes({9}));
+  std::optional<uint64_t> observed;
+  store.Subscribe([&](const std::string& key, const VersionedBlob&) {
+    if (key == "trigger") observed = store.GetVersion("other");
+  });
+  store.Put("trigger", Bytes({1}));
+  EXPECT_EQ(observed, 1u);
+}
+
+TEST(KvStoreTest, ConcurrentPutsAndGets) {
+  KvStore store;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    for (int i = 0; i < 2000; ++i) {
+      store.Put("hot", std::vector<uint8_t>(16, static_cast<uint8_t>(i)));
+    }
+    stop = true;
+  });
+  int64_t reads = 0;
+  while (!stop) {
+    auto blob = store.Get("hot");
+    if (blob) {
+      ASSERT_EQ(blob->data.size(), 16u);
+      ++reads;
+    }
+  }
+  writer.join();
+  EXPECT_EQ(store.GetVersion("hot"), 2000u);
+  EXPECT_GT(reads, 0);
+}
+
+TEST(LatencyProfileTest, MedianAndTail) {
+  LatencyProfile profile;  // defaults: 2.9ms median, 5.6ms p99 (paper)
+  Rng rng(5);
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = profile.SampleUs(rng);
+  std::sort(samples.begin(), samples.end());
+  double median = samples[samples.size() / 2];
+  double p99 = samples[samples.size() * 99 / 100];
+  EXPECT_NEAR(median, 2900.0, 150.0);
+  EXPECT_NEAR(p99, 5600.0, 500.0);
+}
+
+TEST(KvStoreTest, SimulatedLatencySlowsAccess) {
+  KvStore::Options options;
+  options.simulate_latency = true;
+  options.latency.median_us = 2000.0;
+  options.latency.p99_us = 3000.0;
+  KvStore store(options);
+  store.Put("k", Bytes({1}));
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) store.Get("k");
+  auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  EXPECT_GT(elapsed, 10 * 1000);  // >= ~10 x 2ms median, loosely
+}
+
+}  // namespace
+}  // namespace rc::store

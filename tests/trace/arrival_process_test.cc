@@ -1,0 +1,88 @@
+#include "src/trace/arrival_process.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rc::trace {
+namespace {
+
+TEST(ArrivalProcessTest, StrictlyIncreasing) {
+  ArrivalProcess proc(ArrivalConfig{}, 3);
+  SimTime prev = 0;
+  for (int i = 0; i < 1000; ++i) {
+    SimTime t = proc.NextArrival();
+    ASSERT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ArrivalProcessTest, DeterministicPerSeed) {
+  ArrivalProcess a(ArrivalConfig{}, 5), b(ArrivalConfig{}, 5);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.NextArrival(), b.NextArrival());
+}
+
+TEST(ArrivalProcessTest, RateFactorDiurnalShape) {
+  ArrivalConfig cfg;
+  cfg.peak_hour = 14.0;
+  cfg.night_level = 0.3;
+  ArrivalProcess proc(cfg, 1);
+  double peak = proc.RateFactor(14 * kHour);
+  double night = proc.RateFactor(2 * kHour);
+  EXPECT_NEAR(peak, 1.0, 1e-9);
+  EXPECT_LT(night, 0.5);
+  EXPECT_GE(night, cfg.night_level - 1e-9);
+}
+
+TEST(ArrivalProcessTest, WeekendsSlower) {
+  ArrivalConfig cfg;
+  cfg.weekend_level = 0.5;
+  ArrivalProcess proc(cfg, 1);
+  // Same hour, weekday (day 2) vs weekend (day 5).
+  double weekday = proc.RateFactor(2 * kDay + 14 * kHour);
+  double weekend = proc.RateFactor(5 * kDay + 14 * kHour);
+  EXPECT_NEAR(weekend, weekday * 0.5, 1e-9);
+}
+
+TEST(ArrivalProcessTest, MoreArrivalsByDayThanNight) {
+  ArrivalConfig cfg;
+  cfg.peak_mean_interarrival_s = 30.0;
+  ArrivalProcess proc(cfg, 7);
+  int64_t day_arrivals = 0, night_arrivals = 0;
+  // Count over one (non-weekend) day.
+  while (proc.current() < kDay) {
+    SimTime t = proc.NextArrival();
+    if (t >= kDay) break;
+    int hour = HourOfDay(t);
+    if (hour >= 10 && hour < 18) ++day_arrivals;
+    if (hour >= 0 && hour < 8) ++night_arrivals;
+  }
+  EXPECT_GT(day_arrivals, night_arrivals * 3 / 2);
+}
+
+TEST(ArrivalProcessTest, HeavyTailedGaps) {
+  // With shape < 1, the gap distribution should have CoV > 1 (heavier than
+  // exponential) — the burstiness observed in the paper's Fig. 7.
+  ArrivalConfig cfg;
+  cfg.weibull_shape = 0.6;
+  cfg.night_level = 1.0;   // flatten the rate so gaps are i.i.d.
+  cfg.weekend_level = 1.0;
+  ArrivalProcess proc(cfg, 11);
+  SimTime prev = 0;
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    SimTime t = proc.NextArrival();
+    double gap = static_cast<double>(t - prev);
+    prev = t;
+    sum += gap;
+    sq += gap * gap;
+  }
+  double mean = sum / kN;
+  double var = sq / kN - mean * mean;
+  double cov = std::sqrt(var) / mean;
+  EXPECT_GT(cov, 1.2);
+}
+
+}  // namespace
+}  // namespace rc::trace

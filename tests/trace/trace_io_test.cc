@@ -1,0 +1,113 @@
+#include "src/trace/trace_io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/trace/utilization.h"
+#include "src/trace/workload_model.h"
+
+namespace rc::trace {
+namespace {
+
+Trace SmallTrace() {
+  WorkloadConfig config;
+  config.target_vm_count = 500;
+  config.num_subscriptions = 40;
+  config.seed = 77;
+  return WorkloadModel(config).Generate();
+}
+
+TEST(TraceIoTest, RoundTripPreservesRecords) {
+  Trace original = SmallTrace();
+  std::stringstream ss;
+  WriteVmTable(original, ss);
+  Trace restored = ReadVmTable(ss, original.observation_window());
+
+  ASSERT_EQ(restored.vm_count(), original.vm_count());
+  for (size_t i = 0; i < original.vm_count(); ++i) {
+    const VmRecord& a = original.vms()[i];
+    const VmRecord& b = restored.vms()[i];
+    ASSERT_EQ(a.vm_id, b.vm_id);
+    ASSERT_EQ(a.deployment_id, b.deployment_id);
+    ASSERT_EQ(a.subscription_id, b.subscription_id);
+    ASSERT_EQ(a.party, b.party);
+    ASSERT_EQ(a.vm_type, b.vm_type);
+    ASSERT_EQ(a.guest_os, b.guest_os);
+    ASSERT_EQ(a.tag, b.tag);
+    ASSERT_EQ(a.role_name, b.role_name);
+    ASSERT_EQ(a.service_name, b.service_name);
+    ASSERT_EQ(a.cores, b.cores);
+    ASSERT_EQ(a.created, b.created);
+    ASSERT_EQ(a.deleted, b.deleted);
+    ASSERT_EQ(a.true_class, b.true_class);
+    ASSERT_EQ(a.util.seed, b.util.seed);
+    ASSERT_NEAR(a.avg_cpu, b.avg_cpu, 1e-8);
+    ASSERT_NEAR(a.p95_max_cpu, b.p95_max_cpu, 1e-8);
+  }
+}
+
+TEST(TraceIoTest, TelemetryReplaysIdenticallyAfterRoundTrip) {
+  // The whole point of serializing the latent parameters: telemetry is a
+  // pure function of them, so a restored trace replays the same readings.
+  Trace original = SmallTrace();
+  std::stringstream ss;
+  WriteVmTable(original, ss);
+  Trace restored = ReadVmTable(ss, original.observation_window());
+  const VmRecord& a = original.vms()[17];
+  const VmRecord& b = restored.vms()[17];
+  for (int64_t slot = SlotIndex(a.created); slot < SlotIndex(a.created) + 20; ++slot) {
+    CpuReading ra = UtilizationModel::ReadingAt(a, slot);
+    CpuReading rb = UtilizationModel::ReadingAt(b, slot);
+    ASSERT_NEAR(ra.avg_cpu, rb.avg_cpu, 1e-9);
+    ASSERT_NEAR(ra.max_cpu, rb.max_cpu, 1e-9);
+  }
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  std::stringstream ss("not,a,header\n1,2,3\n");
+  EXPECT_THROW(ReadVmTable(ss, kDay), std::runtime_error);
+}
+
+TEST(TraceIoTest, RejectsTruncatedRow) {
+  Trace original = SmallTrace();
+  std::stringstream ss;
+  WriteVmTable(original, ss);
+  std::string content = ss.str();
+  // Drop the tail of the last line.
+  content.resize(content.size() - 40);
+  std::stringstream broken(content);
+  EXPECT_THROW(ReadVmTable(broken, kDay), std::exception);
+}
+
+TEST(TraceIoTest, WriteReadingsHasHeaderAndRows) {
+  Trace original = SmallTrace();
+  const VmRecord* long_vm = nullptr;
+  for (const auto& vm : original.vms()) {
+    if (vm.lifetime() > 2 * kHour) {
+      long_vm = &vm;
+      break;
+    }
+  }
+  ASSERT_NE(long_vm, nullptr);
+  std::stringstream ss;
+  WriteReadings(*long_vm, ss);
+  std::string line;
+  ASSERT_TRUE(std::getline(ss, line));
+  EXPECT_EQ(line, "vm_id,timestamp,min_cpu,avg_cpu,max_cpu");
+  int rows = 0;
+  while (std::getline(ss, line)) ++rows;
+  EXPECT_EQ(rows, SlotIndex(long_vm->deleted) - SlotIndex(long_vm->created));
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  Trace original = SmallTrace();
+  std::string path = ::testing::TempDir() + "/trace_io_test.csv";
+  WriteVmTableFile(original, path);
+  Trace restored = ReadVmTableFile(path, original.observation_window());
+  EXPECT_EQ(restored.vm_count(), original.vm_count());
+  EXPECT_THROW(ReadVmTableFile("/nonexistent/path.csv", kDay), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rc::trace

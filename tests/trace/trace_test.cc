@@ -1,0 +1,78 @@
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace rc::trace {
+namespace {
+
+VmRecord MakeVm(uint64_t id, uint64_t sub, SimTime created, SimTime deleted) {
+  VmRecord vm;
+  vm.vm_id = id;
+  vm.subscription_id = sub;
+  vm.created = created;
+  vm.deleted = deleted;
+  vm.role_name = "IaaS";
+  vm.service_name = "unknown";
+  return vm;
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() {
+    SubscriptionProfile s1, s2;
+    s1.subscription_id = 1;
+    s2.subscription_id = 2;
+    std::vector<VmRecord> vms;
+    vms.push_back(MakeVm(10, 1, 500, 900));
+    vms.push_back(MakeVm(11, 2, 100, 2 * kDay));
+    vms.push_back(MakeVm(12, 1, 300, kDay + 100));
+    trace_ = Trace({s1, s2}, std::move(vms), kDay);
+  }
+  Trace trace_;
+};
+
+TEST_F(TraceTest, SortsByCreation) {
+  ASSERT_EQ(trace_.vm_count(), 3u);
+  EXPECT_EQ(trace_.vms()[0].vm_id, 11u);
+  EXPECT_EQ(trace_.vms()[1].vm_id, 12u);
+  EXPECT_EQ(trace_.vms()[2].vm_id, 10u);
+}
+
+TEST_F(TraceTest, SubscriptionIndex) {
+  const auto& sub1 = trace_.VmsOfSubscription(1);
+  ASSERT_EQ(sub1.size(), 2u);
+  EXPECT_EQ(trace_.vms()[sub1[0]].vm_id, 12u);  // creation order
+  EXPECT_EQ(trace_.vms()[sub1[1]].vm_id, 10u);
+  EXPECT_TRUE(trace_.VmsOfSubscription(999).empty());
+}
+
+TEST_F(TraceTest, FindSubscription) {
+  ASSERT_NE(trace_.FindSubscription(2), nullptr);
+  EXPECT_EQ(trace_.FindSubscription(2)->subscription_id, 2u);
+  EXPECT_EQ(trace_.FindSubscription(7), nullptr);
+}
+
+TEST_F(TraceTest, CompletedVmsRespectWindow) {
+  auto completed = trace_.CompletedVms();
+  // Window is 1 day: vm 10 (ends 900) completes; 11 and 12 do not.
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0]->vm_id, 10u);
+}
+
+TEST_F(TraceTest, VmsCreatedInWindow) {
+  auto in_window = trace_.VmsCreatedIn(200, 400);
+  ASSERT_EQ(in_window.size(), 1u);
+  EXPECT_EQ(in_window[0]->vm_id, 12u);
+  EXPECT_EQ(trace_.VmsCreatedIn(5000, 6000).size(), 0u);
+}
+
+TEST_F(TraceTest, TieBreakOnVmId) {
+  std::vector<VmRecord> vms;
+  vms.push_back(MakeVm(5, 1, 100, 200));
+  vms.push_back(MakeVm(3, 1, 100, 200));
+  Trace t({}, std::move(vms), kDay);
+  EXPECT_EQ(t.vms()[0].vm_id, 3u);
+}
+
+}  // namespace
+}  // namespace rc::trace

@@ -1,0 +1,58 @@
+#include "src/trace/vm_size_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace rc::trace {
+namespace {
+
+TEST(VmSizeCatalogTest, CatalogWellFormed) {
+  VmSizeCatalog catalog;
+  EXPECT_EQ(catalog.size_count(), 14);
+  for (const auto& spec : catalog.sizes()) {
+    EXPECT_GT(spec.cores, 0);
+    EXPECT_GT(spec.memory_gb, 0.0);
+    EXPECT_FALSE(spec.name.empty());
+  }
+}
+
+TEST(VmSizeCatalogTest, IndexOf) {
+  VmSizeCatalog catalog;
+  int a1 = catalog.IndexOf("A1");
+  ASSERT_GE(a1, 0);
+  EXPECT_EQ(catalog.at(a1).cores, 1);
+  EXPECT_DOUBLE_EQ(catalog.at(a1).memory_gb, 1.75);
+  EXPECT_EQ(catalog.IndexOf("Z99"), -1);
+}
+
+TEST(VmSizeCatalogTest, MixReproducesFig2And3) {
+  VmSizeCatalog catalog;
+  Rng rng(5);
+  for (Party party : {Party::kFirst, Party::kThird}) {
+    double small_cores = 0, small_mem = 0;
+    constexpr int kN = 50000;
+    for (int i = 0; i < kN; ++i) {
+      const VmSizeSpec& spec = catalog.at(catalog.SampleIndex(party, rng));
+      if (spec.cores <= 2) ++small_cores;
+      if (spec.memory_gb < 4.0) ++small_mem;
+    }
+    // Fig. 2: ~80% of VMs have 1-2 cores; Fig. 3: ~70% under 4 GB.
+    EXPECT_NEAR(small_cores / kN, 0.8, 0.08);
+    EXPECT_NEAR(small_mem / kN, 0.72, 0.08);
+  }
+}
+
+TEST(VmSizeCatalogTest, ThirdPartyFavorsTinyAndD1) {
+  // Fig. 3: third-party users create more 0.75 GB and 3.5 GB VMs.
+  VmSizeCatalog catalog;
+  Rng rng(9);
+  double first_a0 = 0, third_a0 = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    if (catalog.at(catalog.SampleIndex(Party::kFirst, rng)).memory_gb == 0.75) ++first_a0;
+    if (catalog.at(catalog.SampleIndex(Party::kThird, rng)).memory_gb == 0.75) ++third_a0;
+  }
+  EXPECT_GT(third_a0, first_a0 * 1.4);
+}
+
+}  // namespace
+}  // namespace rc::trace
