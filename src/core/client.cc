@@ -1,6 +1,9 @@
 #include "src/core/client.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "src/common/hashing.h"
 
 namespace rc::core {
 
@@ -26,7 +29,41 @@ std::vector<std::string> DeserializeKeys(const std::vector<uint8_t>& bytes) {
   for (uint32_t i = 0; i < n; ++i) keys.push_back(r.String());
   return keys;
 }
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
 }  // namespace
+
+size_t Client::SnapshotHolder::StripeIndex() {
+  static std::atomic<size_t> next_stripe{0};
+  thread_local size_t index = next_stripe.fetch_add(1, kRelaxed) % kStripes;
+  return index;
+}
+
+Client::StatePtr Client::SnapshotHolder::load() const {
+  const Stripe& stripe = stripes_[StripeIndex()];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  return stripe.state;
+}
+
+void Client::SnapshotHolder::store(StatePtr next) {
+  for (Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.state = next;
+  }
+}
+
+const Client::LoadedModel* Client::ClientState::FindReadyModel(
+    const std::string& name) const {
+  auto it = models.find(name);
+  if (it == models.end() || !it->second->ready()) return nullptr;
+  return it->second.get();
+}
+
+const SubscriptionFeatures* Client::ClientState::FindFeatures(
+    uint64_t subscription_id) const {
+  auto it = features.find(subscription_id);
+  return it == features.end() ? nullptr : it->second.get();
+}
 
 Client::Client(rc::store::KvStore* store, ClientConfig config)
     : store_(store), config_(std::move(config)) {
@@ -34,94 +71,152 @@ Client::Client(rc::store::KvStore* store, ClientConfig config)
     disk_ = std::make_unique<rc::store::DiskCache>(config_.disk_cache_dir,
                                                    config_.disk_expiry_seconds);
   }
+  shard_capacity_ = std::max<size_t>(1, config_.result_cache_capacity / kResultCacheShards);
+  master_state_ = std::make_shared<const ClientState>();
+  snapshot_.store(master_state_);
 }
 
 Client::~Client() {
+  // Unsubscribe drains in-flight listener invocations, so after this returns
+  // no store thread can call back into this (soon-destroyed) client.
   if (store_ != nullptr && store_subscription_ >= 0) {
     store_->Unsubscribe(store_subscription_);
   }
 }
 
 bool Client::Initialize() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(writer_mu_);
   if (store_ != nullptr) {
     if (config_.mode == CacheMode::kPush) {
+      auto next = std::make_shared<ClientState>();
       if (store_->available()) {
-        LoadAllFromStoreLocked();
+        LoadAllFromStoreLocked(*next);
       } else if (disk_ != nullptr) {
         // Cold start during an outage: rebuild caches from the disk mirror.
-        if (auto index = disk_->Get(kIndexKey)) {
-          for (const std::string& key : DeserializeKeys(index->data)) {
-            if (auto blob = disk_->Get(key)) {
-              ++stats_.disk_hits;
-              IngestLocked(key, *blob);
-            }
-          }
-        }
+        LoadAllFromDiskLocked(*next);
       }
+      PublishLocked(std::move(next));
       // Keep caches fresh as RC publishes new artifacts.
       store_subscription_ = store_->Subscribe([this](const std::string& key,
                                                      const VersionedBlob& blob) {
-        std::lock_guard<std::mutex> push_lock(mu_);
-        IngestLocked(key, blob);
+        std::lock_guard<std::mutex> push_lock(writer_mu_);
+        auto updated = std::make_shared<ClientState>(*master_state_);
+        if (IngestLocked(*updated, key, blob)) PersistIndexLocked();
+        PublishLocked(std::move(updated));
         // New artifacts can invalidate cached results.
-        result_cache_.clear();
+        InvalidateResultCache();
       });
     }
     return true;
   }
   // Store-less client: disk cache only.
   if (disk_ == nullptr) return false;
-  if (auto index = disk_->Get(kIndexKey)) {
-    for (const std::string& key : DeserializeKeys(index->data)) {
-      if (auto blob = disk_->Get(key)) {
-        ++stats_.disk_hits;
-        IngestLocked(key, *blob);
-      }
-    }
-    return true;
-  }
-  return false;
+  if (disk_->Get(kIndexKey) == std::nullopt) return false;
+  auto next = std::make_shared<ClientState>();
+  LoadAllFromDiskLocked(*next);
+  PublishLocked(std::move(next));
+  return true;
 }
 
-void Client::LoadAllFromStoreLocked() {
+void Client::PublishLocked(std::shared_ptr<ClientState> next) {
+  master_state_ = StatePtr(std::move(next));
+  snapshot_.store(master_state_);
+}
+
+Client::ResultCacheShard& Client::ShardFor(uint64_t key) const {
+  return result_cache_[HashU64(key) & (kResultCacheShards - 1)];
+}
+
+std::optional<Prediction> Client::ResultCacheLookup(uint64_t key) const {
+  ResultCacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  return it->second;
+}
+
+void Client::ResultCacheInsert(uint64_t key, const Prediction& prediction,
+                               uint64_t epoch) {
+  ResultCacheShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // An invalidation ran after this prediction's snapshot was taken; dropping
+  // the insert keeps stale results from outliving the invalidation. (If the
+  // epoch bumps after this check, the pending shard clear removes the entry.)
+  if (cache_epoch_.load(std::memory_order_acquire) != epoch) return;
+  if (shard.map.size() >= shard_capacity_) shard.map.clear();
+  shard.map.emplace(key, prediction);
+}
+
+void Client::InvalidateResultCache() {
+  cache_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  for (ResultCacheShard& shard : result_cache_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+void Client::LoadAllFromStoreLocked(ClientState& state) {
   for (const std::string& key : store_->ListKeys("")) {
     if (auto blob = store_->Get(key)) {
-      ++stats_.store_fetches;
-      IngestLocked(key, *blob);
+      stats_.store_fetches.fetch_add(1, kRelaxed);
+      IngestLocked(state, key, *blob);
     }
   }
+  // One index rewrite per batch, not one per newly seen key.
   PersistIndexLocked();
 }
 
-void Client::IngestLocked(const std::string& key, const VersionedBlob& blob) {
+void Client::LoadAllFromDiskLocked(ClientState& state) {
+  if (auto index = disk_->Get(kIndexKey)) {
+    for (const std::string& key : DeserializeKeys(index->data)) {
+      if (auto blob = disk_->Get(key)) {
+        stats_.disk_hits.fetch_add(1, kRelaxed);
+        IngestLocked(state, key, *blob);
+      }
+    }
+  }
+}
+
+bool Client::IngestLocked(ClientState& state, const std::string& key,
+                          const VersionedBlob& blob) {
   uint64_t subscription_id = 0;
   if (key.rfind(kModelKeyPrefix, 0) == 0) {
     std::string name = key.substr(sizeof(kModelKeyPrefix) - 1);
-    LoadedModel& entry = models_[name];
-    entry.model = rc::ml::Classifier::DeserializeTagged(blob.data);
+    auto entry = std::make_shared<LoadedModel>();
+    if (auto it = state.models.find(name); it != state.models.end()) {
+      entry->spec = it->second->spec;
+      entry->featurizer = it->second->featurizer;
+    }
+    entry->model = rc::ml::Classifier::DeserializeTagged(blob.data);
     // The spec may arrive before or after the model; featurizer is built
     // when both are present.
-    if (!entry.spec.name.empty() && entry.featurizer == nullptr) {
-      entry.featurizer = std::make_unique<Featurizer>(entry.spec.metric, entry.spec.encoding);
+    if (!entry->spec.name.empty() && entry->featurizer == nullptr) {
+      entry->featurizer =
+          std::make_shared<Featurizer>(entry->spec.metric, entry->spec.encoding);
     }
+    state.models[name] = std::move(entry);
   } else if (key.rfind(kSpecKeyPrefix, 0) == 0) {
     ModelSpec spec = ModelSpec::Deserialize(blob.data);
-    LoadedModel& entry = models_[spec.name];
-    entry.spec = spec;
-    entry.featurizer = std::make_unique<Featurizer>(spec.metric, spec.encoding);
-  } else if (ParseFeatureKey(key, subscription_id)) {
-    features_[subscription_id] = SubscriptionFeatures::Deserialize(blob.data);
-  } else {
-    return;  // unknown key family
-  }
-  if (disk_ != nullptr) {
-    disk_->Put(key, blob);
-    if (std::find(known_keys_.begin(), known_keys_.end(), key) == known_keys_.end()) {
-      known_keys_.push_back(key);
-      PersistIndexLocked();
+    auto entry = std::make_shared<LoadedModel>();
+    if (auto it = state.models.find(spec.name); it != state.models.end()) {
+      entry->model = it->second->model;
     }
+    entry->spec = spec;
+    entry->featurizer = std::make_shared<Featurizer>(spec.metric, spec.encoding);
+    state.models[spec.name] = std::move(entry);
+  } else if (ParseFeatureKey(key, subscription_id)) {
+    state.features[subscription_id] = std::make_shared<const SubscriptionFeatures>(
+        SubscriptionFeatures::Deserialize(blob.data));
+  } else {
+    return false;  // unknown key family
   }
+  if (disk_ == nullptr) return false;
+  disk_->Put(key, blob);
+  if (known_keys_set_.insert(key).second) {
+    known_keys_.push_back(key);
+    return true;  // caller persists the index (once per batch)
+  }
+  return false;
 }
 
 void Client::PersistIndexLocked() {
@@ -135,7 +230,7 @@ void Client::PersistIndexLocked() {
 std::optional<VersionedBlob> Client::FetchLocked(const std::string& key, bool allow_store) {
   if (store_ != nullptr && allow_store && store_->available()) {
     if (auto blob = store_->Get(key)) {
-      ++stats_.store_fetches;
+      stats_.store_fetches.fetch_add(1, kRelaxed);
       return blob;
     }
     return std::nullopt;  // store up, key genuinely absent
@@ -143,109 +238,131 @@ std::optional<VersionedBlob> Client::FetchLocked(const std::string& key, bool al
   // Store down (or absent): the disk cache is the fallback.
   if (disk_ != nullptr) {
     if (auto blob = disk_->Get(key)) {
-      ++stats_.disk_hits;
+      stats_.disk_hits.fetch_add(1, kRelaxed);
       return blob;
     }
   }
   return std::nullopt;
 }
 
-bool Client::LoadModelLocked(const std::string& model_name, bool allow_store) {
-  auto it = models_.find(model_name);
-  if (it != models_.end() && it->second.model != nullptr && it->second.featurizer != nullptr) {
-    return true;
-  }
+bool Client::LoadModelLocked(ClientState& state, const std::string& model_name,
+                             bool allow_store) {
+  if (state.FindReadyModel(model_name) != nullptr) return true;
   auto spec_blob = FetchLocked(SpecKey(model_name), allow_store);
   auto model_blob = FetchLocked(ModelKey(model_name), allow_store);
   if (!spec_blob || !model_blob) return false;
-  IngestLocked(SpecKey(model_name), *spec_blob);
-  IngestLocked(ModelKey(model_name), *model_blob);
-  it = models_.find(model_name);
-  return it != models_.end() && it->second.model != nullptr && it->second.featurizer != nullptr;
+  bool index_dirty = IngestLocked(state, SpecKey(model_name), *spec_blob);
+  index_dirty |= IngestLocked(state, ModelKey(model_name), *model_blob);
+  if (index_dirty) PersistIndexLocked();
+  return state.FindReadyModel(model_name) != nullptr;
 }
 
-bool Client::LoadFeaturesLocked(uint64_t subscription_id, bool allow_store) {
-  if (features_.contains(subscription_id)) return true;
+bool Client::LoadFeaturesLocked(ClientState& state, uint64_t subscription_id,
+                                bool allow_store) {
+  if (state.FindFeatures(subscription_id) != nullptr) return true;
   auto blob = FetchLocked(FeatureKey(subscription_id), allow_store);
   if (!blob) return false;
-  IngestLocked(FeatureKey(subscription_id), *blob);
-  return features_.contains(subscription_id);
+  if (IngestLocked(state, FeatureKey(subscription_id), *blob)) PersistIndexLocked();
+  return state.FindFeatures(subscription_id) != nullptr;
 }
 
 std::vector<std::string> Client::GetAvailableModels() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  StatePtr state = LoadState();
   std::vector<std::string> names;
-  names.reserve(models_.size());
-  for (const auto& [name, entry] : models_) {
-    if (entry.model != nullptr) names.push_back(name);
+  names.reserve(state->models.size());
+  for (const auto& [name, entry] : state->models) {
+    if (entry->model != nullptr) names.push_back(name);
   }
   std::sort(names.begin(), names.end());
   return names;
 }
 
-Prediction Client::ExecuteLocked(LoadedModel& entry, const ClientInputs& inputs) {
-  auto features_it = features_.find(inputs.subscription_id);
+Prediction Client::Execute(const ClientState& state, const LoadedModel& entry,
+                           const ClientInputs& inputs) const {
+  const SubscriptionFeatures* history = state.FindFeatures(inputs.subscription_id);
   SubscriptionFeatures empty;
-  const SubscriptionFeatures* history = nullptr;
-  if (features_it != features_.end()) {
-    history = &features_it->second;
-  } else if (config_.allow_missing_feature_data) {
+  if (history == nullptr) {
+    if (!config_.allow_missing_feature_data) {
+      stats_.no_predictions.fetch_add(1, kRelaxed);
+      return Prediction::None();
+    }
     empty.subscription_id = inputs.subscription_id;
     history = &empty;
-  } else {
-    ++stats_.no_predictions;
-    return Prediction::None();
   }
   std::vector<double> row = entry.featurizer->Encode(inputs, *history);
-  ++stats_.model_executions;
+  stats_.model_executions.fetch_add(1, kRelaxed);
   auto scored = entry.model->PredictScored(row);
   return Prediction::Of(scored.label, scored.score);
 }
 
 Prediction Client::PredictSingle(const std::string& model_name, const ClientInputs& inputs) {
-  std::lock_guard<std::mutex> lock(mu_);
   uint64_t key = inputs.CacheKey(model_name);
-  auto cached = result_cache_.find(key);
-  if (cached != result_cache_.end()) {
-    ++stats_.result_hits;
-    return cached->second;
+  if (auto cached = ResultCacheLookup(key)) {
+    stats_.result_hits.fetch_add(1, kRelaxed);
+    return *cached;
   }
-  ++stats_.result_misses;
+  stats_.result_misses.fetch_add(1, kRelaxed);
 
-  const bool pull = config_.mode == CacheMode::kPull;
-  if (pull && config_.pull_never_blocks) {
-    // Never-blocking pull: if either artifact is not already in memory,
-    // answer no-prediction while warming the caches for subsequent requests.
-    // (In production the warm-up happens on a background thread.)
-    auto model_it = models_.find(model_name);
-    bool model_present = model_it != models_.end() && model_it->second.model != nullptr &&
-                         model_it->second.featurizer != nullptr;
-    bool features_present = features_.contains(inputs.subscription_id) ||
-                            config_.allow_missing_feature_data;
-    if (!model_present || !features_present) {
-      LoadModelLocked(model_name, /*allow_store=*/true);
-      LoadFeaturesLocked(inputs.subscription_id, /*allow_store=*/true);
-      ++stats_.no_predictions;
-      return Prediction::None();
-    }
-  } else {
-    bool model_ready = LoadModelLocked(model_name, /*allow_store=*/pull);
-    if (!model_ready) {
-      ++stats_.no_predictions;
-      return Prediction::None();
-    }
-    LoadFeaturesLocked(inputs.subscription_id, /*allow_store=*/pull);
+  // Order matters: reading the epoch before the snapshot means a concurrent
+  // publish+invalidate is always detected at insert time.
+  uint64_t epoch = cache_epoch_.load(std::memory_order_acquire);
+  StatePtr state = LoadState();
+  const LoadedModel* model = state->FindReadyModel(model_name);
+  bool features_present = state->FindFeatures(inputs.subscription_id) != nullptr ||
+                          config_.allow_missing_feature_data;
+  if (model == nullptr || !features_present) {
+    // Miss in the snapshot: fall back to the (serialized) fill path, which
+    // may consult the store (pull mode) or the disk mirror.
+    return PredictMiss(model_name, inputs, key, epoch);
   }
-  auto model_it = models_.find(model_name);
-  if (model_it == models_.end() || model_it->second.model == nullptr) {
-    ++stats_.no_predictions;
+  Prediction prediction = Execute(*state, *model, inputs);
+  if (prediction.valid) ResultCacheInsert(key, prediction, epoch);
+  return prediction;
+}
+
+Prediction Client::PredictMiss(const std::string& model_name, const ClientInputs& inputs,
+                               uint64_t cache_key, uint64_t epoch) {
+  const bool pull = config_.mode == CacheMode::kPull;
+  StatePtr state;
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    // Another thread (or a push) may have filled the gap while we waited.
+    StatePtr current = master_state_;
+    const LoadedModel* model = current->FindReadyModel(model_name);
+    bool features_present = current->FindFeatures(inputs.subscription_id) != nullptr ||
+                            config_.allow_missing_feature_data;
+    if (model == nullptr || !features_present) {
+      auto next = std::make_shared<ClientState>(*current);
+      if (pull && config_.pull_never_blocks) {
+        // Never-blocking pull: answer no-prediction while warming the caches
+        // for subsequent requests. (In production the warm-up happens on a
+        // background thread.)
+        LoadModelLocked(*next, model_name, /*allow_store=*/true);
+        LoadFeaturesLocked(*next, inputs.subscription_id, /*allow_store=*/true);
+        PublishLocked(std::move(next));
+        stats_.no_predictions.fetch_add(1, kRelaxed);
+        return Prediction::None();
+      }
+      bool model_ready = LoadModelLocked(*next, model_name, /*allow_store=*/pull);
+      if (!model_ready) {
+        PublishLocked(std::move(next));  // keep any partial artifacts (e.g. spec)
+        stats_.no_predictions.fetch_add(1, kRelaxed);
+        return Prediction::None();
+      }
+      LoadFeaturesLocked(*next, inputs.subscription_id, /*allow_store=*/pull);
+      PublishLocked(next);
+      state = std::move(next);
+    } else {
+      state = std::move(current);
+    }
+  }
+  const LoadedModel* model = state->FindReadyModel(model_name);
+  if (model == nullptr) {
+    stats_.no_predictions.fetch_add(1, kRelaxed);
     return Prediction::None();
   }
-  Prediction prediction = ExecuteLocked(model_it->second, inputs);
-  if (prediction.valid) {
-    if (result_cache_.size() >= config_.result_cache_capacity) result_cache_.clear();
-    result_cache_.emplace(key, prediction);
-  }
+  Prediction prediction = Execute(*state, *model, inputs);
+  if (prediction.valid) ResultCacheInsert(cache_key, prediction, epoch);
   return prediction;
 }
 
@@ -258,27 +375,33 @@ std::vector<Prediction> Client::PredictMany(const std::string& model_name,
 }
 
 void Client::ForceReloadCache() {
-  std::lock_guard<std::mutex> lock(mu_);
-  result_cache_.clear();
+  std::lock_guard<std::mutex> lock(writer_mu_);
   if (store_ != nullptr && store_->available()) {
-    models_.clear();
-    features_.clear();
-    LoadAllFromStoreLocked();
+    auto next = std::make_shared<ClientState>();
+    LoadAllFromStoreLocked(*next);
+    PublishLocked(std::move(next));
   }
+  InvalidateResultCache();
 }
 
 void Client::FlushCache() {
-  std::lock_guard<std::mutex> lock(mu_);
-  result_cache_.clear();
-  models_.clear();
-  features_.clear();
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  PublishLocked(std::make_shared<ClientState>());
   known_keys_.clear();
+  known_keys_set_.clear();
   if (disk_ != nullptr) disk_->Clear();
+  InvalidateResultCache();
 }
 
 ClientStats Client::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ClientStats out;
+  out.result_hits = stats_.result_hits.load(kRelaxed);
+  out.result_misses = stats_.result_misses.load(kRelaxed);
+  out.model_executions = stats_.model_executions.load(kRelaxed);
+  out.store_fetches = stats_.store_fetches.load(kRelaxed);
+  out.disk_hits = stats_.disk_hits.load(kRelaxed);
+  out.no_predictions = stats_.no_predictions.load(kRelaxed);
+  return out;
 }
 
 }  // namespace rc::core

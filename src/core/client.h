@@ -14,9 +14,22 @@
 //
 // The disk cache is consulted only when the store is unavailable, and never
 // when the entry has expired.
+//
+// Concurrency model (see DESIGN.md "Client concurrency model"): the hot path
+// executes against an immutable, atomically-published state snapshot.
+// Models, featurizers, and feature data live in a `const ClientState`;
+// writers (push listener, pull-mode fills, ForceReloadCache, FlushCache)
+// copy the current state, mutate the copy under `writer_mu_`, and publish it
+// to a striped snapshot holder. Readers never take `writer_mu_` or any
+// shared lock: each reader thread pins one stripe and copies that stripe's
+// shared_ptr under the stripe's (uncontended) mutex. The result cache is
+// sharded with one small mutex per shard so concurrent predictions on
+// different keys do not contend.
 #ifndef RC_SRC_CORE_CLIENT_H_
 #define RC_SRC_CORE_CLIENT_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -24,6 +37,7 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/featurizer.h"
@@ -44,7 +58,8 @@ struct ClientConfig {
   // prediction critical path.
   bool pull_never_blocks = false;
   // Result-cache entries; when exceeded the cache is flushed (entries are
-  // tiny — a bucket and a score — so the default is generous).
+  // tiny — a bucket and a score — so the default is generous). The budget is
+  // split evenly across the cache shards; each shard flushes independently.
   size_t result_cache_capacity = 1 << 20;
   // Serve predictions with an empty history for subscriptions absent from
   // the feature data (off by default: the paper returns no-prediction).
@@ -99,31 +114,113 @@ class Client {
  private:
   struct LoadedModel {
     ModelSpec spec;
-    std::unique_ptr<rc::ml::Classifier> model;
-    std::unique_ptr<Featurizer> featurizer;
+    std::shared_ptr<const rc::ml::Classifier> model;
+    std::shared_ptr<const Featurizer> featurizer;
+
+    bool ready() const { return model != nullptr && featurizer != nullptr; }
   };
 
-  // All Locked methods require mu_ held.
-  bool LoadModelLocked(const std::string& model_name, bool allow_store);
-  bool LoadFeaturesLocked(uint64_t subscription_id, bool allow_store);
+  // Everything the prediction hot path reads, as one immutable snapshot.
+  // Entries are shared between successive snapshots (copy-on-write), so
+  // publishing an update copies two maps of pointers, never a model.
+  struct ClientState {
+    std::unordered_map<std::string, std::shared_ptr<const LoadedModel>> models;
+    std::unordered_map<uint64_t, std::shared_ptr<const SubscriptionFeatures>> features;
+
+    const LoadedModel* FindReadyModel(const std::string& name) const;
+    const SubscriptionFeatures* FindFeatures(uint64_t subscription_id) const;
+  };
+  using StatePtr = std::shared_ptr<const ClientState>;
+
+  // Read-mostly snapshot holder. Each stripe replicates the current StatePtr
+  // behind its own mutex; a reader thread is pinned to one stripe (assigned
+  // round-robin on first use), so reader loads are an uncontended lock + a
+  // shared_ptr copy and readers never serialize against each other. Writers
+  // sweep all stripes, one at a time; a reader racing the sweep sees either
+  // the old or the new snapshot — both fully consistent. (libstdc++'s
+  // std::atomic<std::shared_ptr> would also work but is not lock-free
+  // either, and its lock-bit internals are opaque to ThreadSanitizer.)
+  class SnapshotHolder {
+   public:
+    StatePtr load() const;
+    void store(StatePtr next);
+
+   private:
+    static constexpr size_t kStripes = 16;
+    static size_t StripeIndex();
+
+    struct alignas(64) Stripe {
+      mutable std::mutex mu;
+      StatePtr state;
+    };
+    std::array<Stripe, kStripes> stripes_;
+  };
+
+  static constexpr size_t kResultCacheShards = 16;  // power of two
+  struct alignas(64) ResultCacheShard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Prediction> map;
+  };
+
+  // Relaxed atomics so the hot path and stats() need no lock.
+  struct StatsCounters {
+    std::atomic<uint64_t> result_hits{0};
+    std::atomic<uint64_t> result_misses{0};
+    std::atomic<uint64_t> model_executions{0};
+    std::atomic<uint64_t> store_fetches{0};
+    std::atomic<uint64_t> disk_hits{0};
+    std::atomic<uint64_t> no_predictions{0};
+  };
+
+  // --- contention-free read side ---
+  StatePtr LoadState() const { return snapshot_.load(); }
+  ResultCacheShard& ShardFor(uint64_t key) const;
+  std::optional<Prediction> ResultCacheLookup(uint64_t key) const;
+  // Inserts unless the cache was invalidated after `epoch` was read.
+  void ResultCacheInsert(uint64_t key, const Prediction& prediction, uint64_t epoch);
+  // Executes the model against the snapshot; no locks taken.
+  Prediction Execute(const ClientState& state, const LoadedModel& model,
+                     const ClientInputs& inputs) const;
+
+  // --- write side; all Locked methods require writer_mu_ held ---
+  void PublishLocked(std::shared_ptr<ClientState> next);
+  void InvalidateResultCache();
+  // Returns true if `key` was newly mirrored to disk (index needs a rewrite).
+  bool IngestLocked(ClientState& state, const std::string& key,
+                    const rc::store::VersionedBlob& blob);
+  bool LoadModelLocked(ClientState& state, const std::string& model_name, bool allow_store);
+  bool LoadFeaturesLocked(ClientState& state, uint64_t subscription_id, bool allow_store);
   std::optional<rc::store::VersionedBlob> FetchLocked(const std::string& key,
                                                       bool allow_store);
-  void LoadAllFromStoreLocked();
-  void IngestLocked(const std::string& key, const rc::store::VersionedBlob& blob);
+  void LoadAllFromStoreLocked(ClientState& state);
+  void LoadAllFromDiskLocked(ClientState& state);
   void PersistIndexLocked();
-  Prediction ExecuteLocked(LoadedModel& model, const ClientInputs& inputs);
+  // Slow path: a model or feature record was missing from the snapshot.
+  Prediction PredictMiss(const std::string& model_name, const ClientInputs& inputs,
+                         uint64_t cache_key, uint64_t epoch);
 
   rc::store::KvStore* store_;
   ClientConfig config_;
   std::unique_ptr<rc::store::DiskCache> disk_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Prediction> result_cache_;
-  std::unordered_map<std::string, LoadedModel> models_;
-  std::unordered_map<uint64_t, SubscriptionFeatures> features_;
-  std::vector<std::string> known_keys_;  // for disk-index persistence
+  // Published snapshot; readers load from their own stripe only.
+  SnapshotHolder snapshot_;
+  // The latest published state, for writers; guarded by writer_mu_.
+  StatePtr master_state_;
+  // Bumped before every result-cache invalidation so a reader racing with an
+  // invalidation never re-inserts a result computed from a stale snapshot.
+  std::atomic<uint64_t> cache_epoch_{0};
+  mutable std::array<ResultCacheShard, kResultCacheShards> result_cache_;
+  size_t shard_capacity_;
+
+  // Serializes all state transitions (push listener, pull fills, reloads)
+  // and guards the disk mirror + known-key index below.
+  std::mutex writer_mu_;
+  std::vector<std::string> known_keys_;             // disk-index persistence order
+  std::unordered_set<std::string> known_keys_set_;  // O(1) duplicate check
   int store_subscription_ = -1;
-  ClientStats stats_;
+
+  mutable StatsCounters stats_;
 };
 
 }  // namespace rc::core

@@ -31,17 +31,28 @@ void KvStore::MaybeSleep() const {
 uint64_t KvStore::Put(const std::string& key, std::vector<uint8_t> data) {
   MaybeSleep();
   VersionedBlob blob;
-  std::vector<std::pair<Listener, VersionedBlob>> to_notify;
+  std::vector<std::shared_ptr<ListenerEntry>> to_notify;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!available_) return 0;  // outage: drop the write, notify nobody
     VersionedBlob& entry = blobs_[key];
     entry.version += 1;
     entry.data = std::move(data);
     blob = entry;
     to_notify.reserve(listeners_.size());
-    for (const auto& [id, listener] : listeners_) to_notify.emplace_back(listener, blob);
+    for (const auto& [id, listener] : listeners_) {
+      listener->in_flight += 1;  // pins the entry for Unsubscribe's drain
+      to_notify.push_back(listener);
+    }
   }
-  for (auto& [listener, b] : to_notify) listener(key, b);
+  for (const auto& entry : to_notify) entry->fn(key, blob);
+  if (!to_notify.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& entry : to_notify) entry->in_flight -= 1;
+    }
+    listeners_drained_.notify_all();
+  }
   return blob.version;
 }
 
@@ -85,13 +96,22 @@ bool KvStore::available() const {
 int KvStore::Subscribe(Listener listener) {
   std::lock_guard<std::mutex> lock(mu_);
   int id = next_listener_id_++;
-  listeners_[id] = std::move(listener);
+  auto entry = std::make_shared<ListenerEntry>();
+  entry->fn = std::move(listener);
+  listeners_[id] = std::move(entry);
   return id;
 }
 
 void KvStore::Unsubscribe(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  listeners_.erase(id);
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = listeners_.find(id);
+  if (it == listeners_.end()) return;
+  std::shared_ptr<ListenerEntry> entry = it->second;
+  listeners_.erase(it);
+  // No new Put can reach the listener now; wait out invocations that copied
+  // the entry before we erased it. After this returns the caller may safely
+  // destroy anything the listener captured.
+  listeners_drained_.wait(lock, [&] { return entry->in_flight == 0; });
 }
 
 size_t KvStore::key_count() const {

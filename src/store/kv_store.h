@@ -7,9 +7,11 @@
 #ifndef RC_SRC_STORE_KV_STORE_H_
 #define RC_SRC_STORE_KV_STORE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -44,7 +46,9 @@ class KvStore {
   KvStore() : KvStore(Options{}) {}
   explicit KvStore(Options options);
 
-  // Stores bytes under key; returns the new (monotonic per key) version.
+  // Stores bytes under key; returns the new (monotonic per key) version, or
+  // 0 if the store is unavailable (the write is dropped and listeners are
+  // not notified — an outage affects writes like it affects reads).
   uint64_t Put(const std::string& key, std::vector<uint8_t> data);
 
   // Latest blob for key; nullopt if absent or the store is unavailable.
@@ -63,11 +67,23 @@ class KvStore {
   // lock) after every successful Put. Returns a subscription id.
   using Listener = std::function<void(const std::string& key, const VersionedBlob& blob)>;
   int Subscribe(Listener listener);
+  // Removes the listener AND blocks until every in-flight invocation of it
+  // has returned, so the caller may destroy captured state immediately
+  // afterwards. Must not be called from inside the listener itself (that
+  // would self-deadlock).
   void Unsubscribe(int id);
 
   size_t key_count() const;
 
  private:
+  // A listener plus its in-flight invocation count; shared between the
+  // registry and dispatching Put calls so Unsubscribe can wait for the
+  // count to drain after removing the registry entry.
+  struct ListenerEntry {
+    Listener fn;
+    int in_flight = 0;  // guarded by mu_
+  };
+
   void MaybeSleep() const;
 
   Options options_;
@@ -75,7 +91,8 @@ class KvStore {
   mutable Rng latency_rng_;
   std::map<std::string, VersionedBlob> blobs_;
   bool available_ = true;
-  std::map<int, Listener> listeners_;
+  std::map<int, std::shared_ptr<ListenerEntry>> listeners_;
+  std::condition_variable listeners_drained_;
   int next_listener_id_ = 1;
 };
 

@@ -2,7 +2,9 @@
 // by all callers in a process; these tests hammer one client from multiple
 // threads while the store pushes updates.
 #include <atomic>
+#include <latch>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -87,8 +89,14 @@ TEST_F(ClientConcurrencyTest, PredictionsDuringPushes) {
     }
   }
 
+  // Start pusher and predictor together, and keep predicting for a minimum
+  // iteration count so the loops deterministically overlap — the pusher
+  // finishing all its Puts before the predictor's first iteration must not
+  // produce total == 0.
+  std::latch start(2);
   std::atomic<bool> stop{false};
   std::thread pusher([&] {
+    start.arrive_and_wait();
     // Republishing feature data exercises the push listener + result-cache
     // invalidation path concurrently with predictions.
     for (int i = 0; i < 300; ++i) {
@@ -97,15 +105,110 @@ TEST_F(ClientConcurrencyTest, PredictionsDuringPushes) {
     }
     stop = true;
   });
+  constexpr int64_t kMinPredictions = 2000;
   int64_t valid = 0, total = 0;
-  while (!stop) {
+  start.arrive_and_wait();
+  while (!stop.load() || total < kMinPredictions) {
     Prediction p = client.PredictSingle("VM_P95UTIL", inputs);
     ++total;
     if (p.valid) ++valid;
   }
   pusher.join();
   EXPECT_EQ(valid, total);  // feature data never disappears mid-push
-  EXPECT_GT(total, 0);
+  EXPECT_GE(total, kMinPredictions);
+}
+
+TEST_F(ClientConcurrencyTest, ClientDestructionDuringPushes) {
+  // Regression for a use-after-free: KvStore::Put copies listeners out of
+  // the store lock before invoking them, so an in-flight invocation could
+  // outlive Unsubscribe and fire into a destroyed Client. Unsubscribe now
+  // drains in-flight invocations, making construct/predict/destroy safe
+  // while another thread spams Put.
+  rc::store::KvStore store;
+  OfflinePipeline::Publish(*trained_, store);
+
+  static const rc::trace::VmSizeCatalog catalog;
+  ClientInputs inputs;
+  for (const auto& vm : trace_->vms()) {
+    if (trained_->feature_data.contains(vm.subscription_id)) {
+      inputs = InputsFromVm(vm, catalog);
+      break;
+    }
+  }
+  const std::string feature_key = FeatureKey(inputs.subscription_id);
+  const std::vector<uint8_t> feature_blob =
+      trained_->feature_data.at(inputs.subscription_id).Serialize();
+
+  std::latch start(2);
+  std::atomic<bool> stop{false};
+  std::thread pusher([&] {
+    start.arrive_and_wait();
+    while (!stop.load()) {
+      std::vector<uint8_t> copy = feature_blob;
+      store.Put(feature_key, std::move(copy));
+    }
+  });
+  start.arrive_and_wait();
+  for (int i = 0; i < 50; ++i) {
+    Client client(&store, ClientConfig{});
+    ASSERT_TRUE(client.Initialize());
+    Prediction p = client.PredictSingle("VM_P95UTIL", inputs);
+    EXPECT_TRUE(p.valid);
+  }  // ~Client races with listener dispatch on every iteration
+  stop = true;
+  pusher.join();
+}
+
+TEST_F(ClientConcurrencyTest, ManyReadersWithPusherAndReloader) {
+  // Full-system hammer: four predictor threads on the lock-free snapshot
+  // path, one pusher republishing feature data (state swap + result-cache
+  // invalidation), and foreground ForceReloadCache calls (full state
+  // rebuild). Every prediction must stay valid throughout.
+  rc::store::KvStore store;
+  OfflinePipeline::Publish(*trained_, store);
+  Client client(&store, ClientConfig{});
+  ASSERT_TRUE(client.Initialize());
+
+  static const rc::trace::VmSizeCatalog catalog;
+  std::vector<ClientInputs> inputs;
+  for (const auto& vm : trace_->vms()) {
+    if (trained_->feature_data.contains(vm.subscription_id)) {
+      inputs.push_back(InputsFromVm(vm, catalog));
+    }
+    if (inputs.size() == 32) break;
+  }
+  ASSERT_FALSE(inputs.empty());
+
+  constexpr int kReaders = 4;
+  std::latch start(kReaders + 2);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> invalid{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(t) + 1);
+      start.arrive_and_wait();
+      for (int iter = 0; iter < 3000; ++iter) {
+        size_t idx = static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(inputs.size()) - 1));
+        Prediction p = client.PredictSingle("VM_P95UTIL", inputs[idx]);
+        if (!p.valid) invalid.fetch_add(1);
+      }
+    });
+  }
+  std::thread pusher([&] {
+    start.arrive_and_wait();
+    while (!stop.load()) {
+      store.Put(FeatureKey(inputs[0].subscription_id),
+                trained_->feature_data.at(inputs[0].subscription_id).Serialize());
+    }
+  });
+  start.arrive_and_wait();
+  for (int i = 0; i < 5; ++i) client.ForceReloadCache();
+  for (auto& t : readers) t.join();
+  stop = true;
+  pusher.join();
+  EXPECT_EQ(invalid.load(), 0);
 }
 
 }  // namespace

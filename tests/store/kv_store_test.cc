@@ -1,6 +1,8 @@
 #include "src/store/kv_store.h"
 
 #include <atomic>
+#include <chrono>
+#include <latch>
 #include <thread>
 
 #include <gtest/gtest.h>
@@ -49,6 +51,28 @@ TEST(KvStoreTest, OutageHidesData) {
   EXPECT_TRUE(store.Get("k").has_value());
 }
 
+TEST(KvStoreTest, PutFailsDuringOutage) {
+  // Regression: Put used to ignore the availability switch — during a
+  // simulated outage reads failed but writes silently succeeded and still
+  // notified listeners.
+  KvStore store;
+  store.Put("k", Bytes({1}));
+  int notifications = 0;
+  store.Subscribe([&](const std::string&, const VersionedBlob&) { ++notifications; });
+  store.SetAvailable(false);
+  EXPECT_EQ(store.Put("k", Bytes({2})), 0u);      // dropped, no version bump
+  EXPECT_EQ(store.Put("fresh", Bytes({3})), 0u);  // dropped, key not created
+  EXPECT_EQ(notifications, 0);
+  store.SetAvailable(true);
+  auto blob = store.Get("k");
+  ASSERT_TRUE(blob.has_value());
+  EXPECT_EQ(blob->version, 1u);
+  EXPECT_EQ(blob->data, Bytes({1}));
+  EXPECT_FALSE(store.Get("fresh").has_value());
+  EXPECT_EQ(store.Put("k", Bytes({4})), 2u);  // writes resume after restore
+  EXPECT_EQ(notifications, 1);
+}
+
 TEST(KvStoreTest, PushNotificationsOnPut) {
   KvStore store;
   std::vector<std::pair<std::string, uint64_t>> seen;
@@ -80,15 +104,22 @@ TEST(KvStoreTest, ListenerMayCallBackIntoStore) {
 
 TEST(KvStoreTest, ConcurrentPutsAndGets) {
   KvStore store;
+  // Start the writer and reader together, and keep reading for a minimum
+  // iteration count: the writer finishing all its Puts before the reader's
+  // first loop iteration must not fail the test.
+  std::latch start(2);
   std::atomic<bool> stop{false};
   std::thread writer([&] {
+    start.arrive_and_wait();
     for (int i = 0; i < 2000; ++i) {
       store.Put("hot", std::vector<uint8_t>(16, static_cast<uint8_t>(i)));
     }
     stop = true;
   });
+  constexpr int64_t kMinReads = 500;
   int64_t reads = 0;
-  while (!stop) {
+  start.arrive_and_wait();
+  while (!stop.load() || reads < kMinReads) {
     auto blob = store.Get("hot");
     if (blob) {
       ASSERT_EQ(blob->data.size(), 16u);
@@ -97,7 +128,34 @@ TEST(KvStoreTest, ConcurrentPutsAndGets) {
   }
   writer.join();
   EXPECT_EQ(store.GetVersion("hot"), 2000u);
-  EXPECT_GT(reads, 0);
+  EXPECT_GE(reads, kMinReads);
+}
+
+TEST(KvStoreTest, UnsubscribeWaitsForInFlightListener) {
+  KvStore store;
+  std::atomic<bool> entered{false};
+  std::atomic<bool> release{false};
+  int id = store.Subscribe([&](const std::string&, const VersionedBlob&) {
+    entered = true;
+    while (!release) std::this_thread::yield();
+  });
+  std::thread putter([&] { store.Put("k", Bytes({1})); });
+  while (!entered) std::this_thread::yield();
+  // The listener is now running inside Put; Unsubscribe must not return
+  // until it does.
+  std::atomic<bool> unsubscribed{false};
+  std::thread unsub([&] {
+    store.Unsubscribe(id);
+    unsubscribed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(unsubscribed.load());
+  release = true;
+  unsub.join();
+  putter.join();
+  EXPECT_TRUE(unsubscribed.load());
+  // The listener is gone: further Puts must not re-enter it.
+  store.Put("k", Bytes({2}));
 }
 
 TEST(LatencyProfileTest, MedianAndTail) {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the core + store test binaries under ThreadSanitizer and runs them.
+# Any reported race fails the script (TSAN_OPTIONS halt_on_error below).
+#
+# Usage: tools/check_tsan.sh [extra gtest args...]
+#   e.g. tools/check_tsan.sh --gtest_filter='ClientConcurrencyTest.*'
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${RC_TSAN_BUILD_DIR:-${REPO_ROOT}/build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRC_SANITIZE=thread
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target rc_store_tests rc_core_tests
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+
+echo "== rc_store_tests (TSan) =="
+"${BUILD_DIR}/tests/rc_store_tests" "$@"
+echo "== rc_core_tests (TSan) =="
+"${BUILD_DIR}/tests/rc_core_tests" "$@"
+echo "TSan check passed: no data races reported."
