@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_buckets.dir/ablation_buckets.cc.o"
+  "CMakeFiles/ablation_buckets.dir/ablation_buckets.cc.o.d"
+  "ablation_buckets"
+  "ablation_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_confidence.dir/ablation_confidence.cc.o"
+  "CMakeFiles/ablation_confidence.dir/ablation_confidence.cc.o.d"
+  "ablation_confidence"
+  "ablation_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_model_size.dir/ablation_model_size.cc.o"
+  "CMakeFiles/ablation_model_size.dir/ablation_model_size.cc.o.d"
+  "ablation_model_size"
+  "ablation_model_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_model_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_cpu_util_cdf.dir/fig01_cpu_util_cdf.cc.o"
+  "CMakeFiles/fig01_cpu_util_cdf.dir/fig01_cpu_util_cdf.cc.o.d"
+  "fig01_cpu_util_cdf"
+  "fig01_cpu_util_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_cpu_util_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

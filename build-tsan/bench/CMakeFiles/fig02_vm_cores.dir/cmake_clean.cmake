@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_vm_cores.dir/fig02_vm_cores.cc.o"
+  "CMakeFiles/fig02_vm_cores.dir/fig02_vm_cores.cc.o.d"
+  "fig02_vm_cores"
+  "fig02_vm_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_vm_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

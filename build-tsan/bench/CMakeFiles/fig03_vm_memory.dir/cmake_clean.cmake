@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_vm_memory.dir/fig03_vm_memory.cc.o"
+  "CMakeFiles/fig03_vm_memory.dir/fig03_vm_memory.cc.o.d"
+  "fig03_vm_memory"
+  "fig03_vm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_vm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_lifetime.dir/fig05_lifetime.cc.o"
+  "CMakeFiles/fig05_lifetime.dir/fig05_lifetime.cc.o.d"
+  "fig05_lifetime"
+  "fig05_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

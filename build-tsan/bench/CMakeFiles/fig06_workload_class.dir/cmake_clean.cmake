@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_workload_class.dir/fig06_workload_class.cc.o"
+  "CMakeFiles/fig06_workload_class.dir/fig06_workload_class.cc.o.d"
+  "fig06_workload_class"
+  "fig06_workload_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_workload_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

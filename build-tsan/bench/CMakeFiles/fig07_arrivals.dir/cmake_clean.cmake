@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_arrivals.dir/fig07_arrivals.cc.o"
+  "CMakeFiles/fig07_arrivals.dir/fig07_arrivals.cc.o.d"
+  "fig07_arrivals"
+  "fig07_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_correlations.dir/fig08_correlations.cc.o"
+  "CMakeFiles/fig08_correlations.dir/fig08_correlations.cc.o.d"
+  "fig08_correlations"
+  "fig08_correlations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_correlations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

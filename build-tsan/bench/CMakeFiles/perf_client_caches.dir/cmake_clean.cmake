@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_client_caches.dir/perf_client_caches.cc.o"
+  "CMakeFiles/perf_client_caches.dir/perf_client_caches.cc.o.d"
+  "perf_client_caches"
+  "perf_client_caches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_client_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for perf_client_caches.
+# This may be replaced when dependencies are built.

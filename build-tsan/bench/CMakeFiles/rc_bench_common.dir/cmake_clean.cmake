@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/rc_bench_common.dir/bench_common.cc.o.d"
+  "CMakeFiles/rc_bench_common.dir/sched_common.cc.o"
+  "CMakeFiles/rc_bench_common.dir/sched_common.cc.o.d"
+  "librc_bench_common.a"
+  "librc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_comparison.dir/sched_comparison.cc.o"
+  "CMakeFiles/sched_comparison.dir/sched_comparison.cc.o.d"
+  "sched_comparison"
+  "sched_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

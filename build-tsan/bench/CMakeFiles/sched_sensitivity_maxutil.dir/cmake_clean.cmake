@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_sensitivity_maxutil.dir/sched_sensitivity_maxutil.cc.o"
+  "CMakeFiles/sched_sensitivity_maxutil.dir/sched_sensitivity_maxutil.cc.o.d"
+  "sched_sensitivity_maxutil"
+  "sched_sensitivity_maxutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_sensitivity_maxutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_sensitivity_oversub.dir/sched_sensitivity_oversub.cc.o"
+  "CMakeFiles/sched_sensitivity_oversub.dir/sched_sensitivity_oversub.cc.o.d"
+  "sched_sensitivity_oversub"
+  "sched_sensitivity_oversub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_sensitivity_oversub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

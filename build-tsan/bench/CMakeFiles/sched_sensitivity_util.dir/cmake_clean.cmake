@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_sensitivity_util.dir/sched_sensitivity_util.cc.o"
+  "CMakeFiles/sched_sensitivity_util.dir/sched_sensitivity_util.cc.o.d"
+  "sched_sensitivity_util"
+  "sched_sensitivity_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_sensitivity_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_model_sizes.dir/table1_model_sizes.cc.o"
+  "CMakeFiles/table1_model_sizes.dir/table1_model_sizes.cc.o.d"
+  "table1_model_sizes"
+  "table1_model_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_model_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_prediction_quality.dir/table4_prediction_quality.cc.o"
+  "CMakeFiles/table4_prediction_quality.dir/table4_prediction_quality.cc.o.d"
+  "table4_prediction_quality"
+  "table4_prediction_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_prediction_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/capacity_planner.cpp" "examples/CMakeFiles/capacity_planner.dir/capacity_planner.cpp.o" "gcc" "examples/CMakeFiles/capacity_planner.dir/capacity_planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sched/CMakeFiles/rc_sched.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/rc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/rc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/store/CMakeFiles/rc_store.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/rc_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/rc_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversub_scheduling.dir/oversub_scheduling.cpp.o"
+  "CMakeFiles/oversub_scheduling.dir/oversub_scheduling.cpp.o.d"
+  "oversub_scheduling"
+  "oversub_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversub_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/characterization.cc" "src/analysis/CMakeFiles/rc_analysis.dir/characterization.cc.o" "gcc" "src/analysis/CMakeFiles/rc_analysis.dir/characterization.cc.o.d"
+  "/root/repo/src/analysis/periodicity.cc" "src/analysis/CMakeFiles/rc_analysis.dir/periodicity.cc.o" "gcc" "src/analysis/CMakeFiles/rc_analysis.dir/periodicity.cc.o.d"
+  "/root/repo/src/analysis/spearman.cc" "src/analysis/CMakeFiles/rc_analysis.dir/spearman.cc.o" "gcc" "src/analysis/CMakeFiles/rc_analysis.dir/spearman.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/rc_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/rc_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

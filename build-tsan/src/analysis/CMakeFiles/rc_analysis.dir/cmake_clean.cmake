@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_analysis.dir/characterization.cc.o"
+  "CMakeFiles/rc_analysis.dir/characterization.cc.o.d"
+  "CMakeFiles/rc_analysis.dir/periodicity.cc.o"
+  "CMakeFiles/rc_analysis.dir/periodicity.cc.o.d"
+  "CMakeFiles/rc_analysis.dir/spearman.cc.o"
+  "CMakeFiles/rc_analysis.dir/spearman.cc.o.d"
+  "librc_analysis.a"
+  "librc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

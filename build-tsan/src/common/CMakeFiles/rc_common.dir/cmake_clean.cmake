@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_common.dir/buckets.cc.o"
+  "CMakeFiles/rc_common.dir/buckets.cc.o.d"
+  "CMakeFiles/rc_common.dir/cdf.cc.o"
+  "CMakeFiles/rc_common.dir/cdf.cc.o.d"
+  "CMakeFiles/rc_common.dir/csv.cc.o"
+  "CMakeFiles/rc_common.dir/csv.cc.o.d"
+  "CMakeFiles/rc_common.dir/histogram.cc.o"
+  "CMakeFiles/rc_common.dir/histogram.cc.o.d"
+  "CMakeFiles/rc_common.dir/rng.cc.o"
+  "CMakeFiles/rc_common.dir/rng.cc.o.d"
+  "CMakeFiles/rc_common.dir/stats.cc.o"
+  "CMakeFiles/rc_common.dir/stats.cc.o.d"
+  "CMakeFiles/rc_common.dir/table_printer.cc.o"
+  "CMakeFiles/rc_common.dir/table_printer.cc.o.d"
+  "librc_common.a"
+  "librc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

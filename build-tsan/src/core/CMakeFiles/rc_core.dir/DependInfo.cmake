@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/client.cc" "src/core/CMakeFiles/rc_core.dir/client.cc.o" "gcc" "src/core/CMakeFiles/rc_core.dir/client.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/rc_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/rc_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/feature_data.cc" "src/core/CMakeFiles/rc_core.dir/feature_data.cc.o" "gcc" "src/core/CMakeFiles/rc_core.dir/feature_data.cc.o.d"
+  "/root/repo/src/core/featurizer.cc" "src/core/CMakeFiles/rc_core.dir/featurizer.cc.o" "gcc" "src/core/CMakeFiles/rc_core.dir/featurizer.cc.o.d"
+  "/root/repo/src/core/model_spec.cc" "src/core/CMakeFiles/rc_core.dir/model_spec.cc.o" "gcc" "src/core/CMakeFiles/rc_core.dir/model_spec.cc.o.d"
+  "/root/repo/src/core/offline_pipeline.cc" "src/core/CMakeFiles/rc_core.dir/offline_pipeline.cc.o" "gcc" "src/core/CMakeFiles/rc_core.dir/offline_pipeline.cc.o.d"
+  "/root/repo/src/core/prediction.cc" "src/core/CMakeFiles/rc_core.dir/prediction.cc.o" "gcc" "src/core/CMakeFiles/rc_core.dir/prediction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/rc_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/rc_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/rc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/store/CMakeFiles/rc_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

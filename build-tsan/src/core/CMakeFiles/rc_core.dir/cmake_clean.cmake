@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_core.dir/client.cc.o"
+  "CMakeFiles/rc_core.dir/client.cc.o.d"
+  "CMakeFiles/rc_core.dir/evaluation.cc.o"
+  "CMakeFiles/rc_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/rc_core.dir/feature_data.cc.o"
+  "CMakeFiles/rc_core.dir/feature_data.cc.o.d"
+  "CMakeFiles/rc_core.dir/featurizer.cc.o"
+  "CMakeFiles/rc_core.dir/featurizer.cc.o.d"
+  "CMakeFiles/rc_core.dir/model_spec.cc.o"
+  "CMakeFiles/rc_core.dir/model_spec.cc.o.d"
+  "CMakeFiles/rc_core.dir/offline_pipeline.cc.o"
+  "CMakeFiles/rc_core.dir/offline_pipeline.cc.o.d"
+  "CMakeFiles/rc_core.dir/prediction.cc.o"
+  "CMakeFiles/rc_core.dir/prediction.cc.o.d"
+  "librc_core.a"
+  "librc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

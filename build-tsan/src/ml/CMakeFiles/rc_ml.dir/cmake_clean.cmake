@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_ml.dir/classifier.cc.o"
+  "CMakeFiles/rc_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/rc_ml.dir/dataset.cc.o"
+  "CMakeFiles/rc_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/rc_ml.dir/fft.cc.o"
+  "CMakeFiles/rc_ml.dir/fft.cc.o.d"
+  "CMakeFiles/rc_ml.dir/gbt.cc.o"
+  "CMakeFiles/rc_ml.dir/gbt.cc.o.d"
+  "CMakeFiles/rc_ml.dir/metrics.cc.o"
+  "CMakeFiles/rc_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/rc_ml.dir/random_forest.cc.o"
+  "CMakeFiles/rc_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/rc_ml.dir/tree.cc.o"
+  "CMakeFiles/rc_ml.dir/tree.cc.o.d"
+  "librc_ml.a"
+  "librc_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cluster.cc" "src/sched/CMakeFiles/rc_sched.dir/cluster.cc.o" "gcc" "src/sched/CMakeFiles/rc_sched.dir/cluster.cc.o.d"
+  "/root/repo/src/sched/policies.cc" "src/sched/CMakeFiles/rc_sched.dir/policies.cc.o" "gcc" "src/sched/CMakeFiles/rc_sched.dir/policies.cc.o.d"
+  "/root/repo/src/sched/rules.cc" "src/sched/CMakeFiles/rc_sched.dir/rules.cc.o" "gcc" "src/sched/CMakeFiles/rc_sched.dir/rules.cc.o.d"
+  "/root/repo/src/sched/scheduler.cc" "src/sched/CMakeFiles/rc_sched.dir/scheduler.cc.o" "gcc" "src/sched/CMakeFiles/rc_sched.dir/scheduler.cc.o.d"
+  "/root/repo/src/sched/simulator.cc" "src/sched/CMakeFiles/rc_sched.dir/simulator.cc.o" "gcc" "src/sched/CMakeFiles/rc_sched.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trace/CMakeFiles/rc_trace.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/core/CMakeFiles/rc_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/analysis/CMakeFiles/rc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ml/CMakeFiles/rc_ml.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/store/CMakeFiles/rc_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

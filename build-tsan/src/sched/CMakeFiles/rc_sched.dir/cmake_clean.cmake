@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_sched.dir/cluster.cc.o"
+  "CMakeFiles/rc_sched.dir/cluster.cc.o.d"
+  "CMakeFiles/rc_sched.dir/policies.cc.o"
+  "CMakeFiles/rc_sched.dir/policies.cc.o.d"
+  "CMakeFiles/rc_sched.dir/rules.cc.o"
+  "CMakeFiles/rc_sched.dir/rules.cc.o.d"
+  "CMakeFiles/rc_sched.dir/scheduler.cc.o"
+  "CMakeFiles/rc_sched.dir/scheduler.cc.o.d"
+  "CMakeFiles/rc_sched.dir/simulator.cc.o"
+  "CMakeFiles/rc_sched.dir/simulator.cc.o.d"
+  "librc_sched.a"
+  "librc_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/disk_cache.cc" "src/store/CMakeFiles/rc_store.dir/disk_cache.cc.o" "gcc" "src/store/CMakeFiles/rc_store.dir/disk_cache.cc.o.d"
+  "/root/repo/src/store/kv_store.cc" "src/store/CMakeFiles/rc_store.dir/kv_store.cc.o" "gcc" "src/store/CMakeFiles/rc_store.dir/kv_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

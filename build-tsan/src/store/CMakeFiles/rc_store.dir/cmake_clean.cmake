@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_store.dir/disk_cache.cc.o"
+  "CMakeFiles/rc_store.dir/disk_cache.cc.o.d"
+  "CMakeFiles/rc_store.dir/kv_store.cc.o"
+  "CMakeFiles/rc_store.dir/kv_store.cc.o.d"
+  "librc_store.a"
+  "librc_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

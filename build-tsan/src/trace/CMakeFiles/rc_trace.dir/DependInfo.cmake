@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/arrival_process.cc" "src/trace/CMakeFiles/rc_trace.dir/arrival_process.cc.o" "gcc" "src/trace/CMakeFiles/rc_trace.dir/arrival_process.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/rc_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/rc_trace.dir/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/rc_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/rc_trace.dir/trace_io.cc.o.d"
+  "/root/repo/src/trace/utilization.cc" "src/trace/CMakeFiles/rc_trace.dir/utilization.cc.o" "gcc" "src/trace/CMakeFiles/rc_trace.dir/utilization.cc.o.d"
+  "/root/repo/src/trace/vm_size_catalog.cc" "src/trace/CMakeFiles/rc_trace.dir/vm_size_catalog.cc.o" "gcc" "src/trace/CMakeFiles/rc_trace.dir/vm_size_catalog.cc.o.d"
+  "/root/repo/src/trace/vm_types.cc" "src/trace/CMakeFiles/rc_trace.dir/vm_types.cc.o" "gcc" "src/trace/CMakeFiles/rc_trace.dir/vm_types.cc.o.d"
+  "/root/repo/src/trace/workload_model.cc" "src/trace/CMakeFiles/rc_trace.dir/workload_model.cc.o" "gcc" "src/trace/CMakeFiles/rc_trace.dir/workload_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/rc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_trace.dir/arrival_process.cc.o"
+  "CMakeFiles/rc_trace.dir/arrival_process.cc.o.d"
+  "CMakeFiles/rc_trace.dir/trace.cc.o"
+  "CMakeFiles/rc_trace.dir/trace.cc.o.d"
+  "CMakeFiles/rc_trace.dir/trace_io.cc.o"
+  "CMakeFiles/rc_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/rc_trace.dir/utilization.cc.o"
+  "CMakeFiles/rc_trace.dir/utilization.cc.o.d"
+  "CMakeFiles/rc_trace.dir/vm_size_catalog.cc.o"
+  "CMakeFiles/rc_trace.dir/vm_size_catalog.cc.o.d"
+  "CMakeFiles/rc_trace.dir/vm_types.cc.o"
+  "CMakeFiles/rc_trace.dir/vm_types.cc.o.d"
+  "CMakeFiles/rc_trace.dir/workload_model.cc.o"
+  "CMakeFiles/rc_trace.dir/workload_model.cc.o.d"
+  "librc_trace.a"
+  "librc_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_analysis_tests.dir/analysis/characterization_test.cc.o"
+  "CMakeFiles/rc_analysis_tests.dir/analysis/characterization_test.cc.o.d"
+  "CMakeFiles/rc_analysis_tests.dir/analysis/periodicity_test.cc.o"
+  "CMakeFiles/rc_analysis_tests.dir/analysis/periodicity_test.cc.o.d"
+  "CMakeFiles/rc_analysis_tests.dir/analysis/spearman_test.cc.o"
+  "CMakeFiles/rc_analysis_tests.dir/analysis/spearman_test.cc.o.d"
+  "rc_analysis_tests"
+  "rc_analysis_tests.pdb"
+  "rc_analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_common_tests.dir/common/buckets_test.cc.o"
+  "CMakeFiles/rc_common_tests.dir/common/buckets_test.cc.o.d"
+  "CMakeFiles/rc_common_tests.dir/common/cdf_test.cc.o"
+  "CMakeFiles/rc_common_tests.dir/common/cdf_test.cc.o.d"
+  "CMakeFiles/rc_common_tests.dir/common/csv_test.cc.o"
+  "CMakeFiles/rc_common_tests.dir/common/csv_test.cc.o.d"
+  "CMakeFiles/rc_common_tests.dir/common/histogram_test.cc.o"
+  "CMakeFiles/rc_common_tests.dir/common/histogram_test.cc.o.d"
+  "CMakeFiles/rc_common_tests.dir/common/misc_test.cc.o"
+  "CMakeFiles/rc_common_tests.dir/common/misc_test.cc.o.d"
+  "CMakeFiles/rc_common_tests.dir/common/rng_test.cc.o"
+  "CMakeFiles/rc_common_tests.dir/common/rng_test.cc.o.d"
+  "CMakeFiles/rc_common_tests.dir/common/stats_test.cc.o"
+  "CMakeFiles/rc_common_tests.dir/common/stats_test.cc.o.d"
+  "rc_common_tests"
+  "rc_common_tests.pdb"
+  "rc_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

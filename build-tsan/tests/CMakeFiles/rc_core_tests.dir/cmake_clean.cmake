@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_core_tests.dir/core/client_concurrency_test.cc.o"
+  "CMakeFiles/rc_core_tests.dir/core/client_concurrency_test.cc.o.d"
+  "CMakeFiles/rc_core_tests.dir/core/client_test.cc.o"
+  "CMakeFiles/rc_core_tests.dir/core/client_test.cc.o.d"
+  "CMakeFiles/rc_core_tests.dir/core/evaluation_test.cc.o"
+  "CMakeFiles/rc_core_tests.dir/core/evaluation_test.cc.o.d"
+  "CMakeFiles/rc_core_tests.dir/core/feature_data_test.cc.o"
+  "CMakeFiles/rc_core_tests.dir/core/feature_data_test.cc.o.d"
+  "CMakeFiles/rc_core_tests.dir/core/featurizer_test.cc.o"
+  "CMakeFiles/rc_core_tests.dir/core/featurizer_test.cc.o.d"
+  "CMakeFiles/rc_core_tests.dir/core/pipeline_test.cc.o"
+  "CMakeFiles/rc_core_tests.dir/core/pipeline_test.cc.o.d"
+  "rc_core_tests"
+  "rc_core_tests.pdb"
+  "rc_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

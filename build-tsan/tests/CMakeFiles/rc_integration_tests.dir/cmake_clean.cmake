@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_integration_tests.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/rc_integration_tests.dir/integration/end_to_end_test.cc.o.d"
+  "rc_integration_tests"
+  "rc_integration_tests.pdb"
+  "rc_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

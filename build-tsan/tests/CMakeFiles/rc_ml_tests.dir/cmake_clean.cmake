@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_ml_tests.dir/ml/dataset_test.cc.o"
+  "CMakeFiles/rc_ml_tests.dir/ml/dataset_test.cc.o.d"
+  "CMakeFiles/rc_ml_tests.dir/ml/ensemble_test.cc.o"
+  "CMakeFiles/rc_ml_tests.dir/ml/ensemble_test.cc.o.d"
+  "CMakeFiles/rc_ml_tests.dir/ml/fft_test.cc.o"
+  "CMakeFiles/rc_ml_tests.dir/ml/fft_test.cc.o.d"
+  "CMakeFiles/rc_ml_tests.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/rc_ml_tests.dir/ml/metrics_test.cc.o.d"
+  "CMakeFiles/rc_ml_tests.dir/ml/tree_test.cc.o"
+  "CMakeFiles/rc_ml_tests.dir/ml/tree_test.cc.o.d"
+  "rc_ml_tests"
+  "rc_ml_tests.pdb"
+  "rc_ml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_ml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

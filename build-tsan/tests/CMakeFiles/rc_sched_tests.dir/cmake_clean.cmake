@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_sched_tests.dir/sched/cluster_test.cc.o"
+  "CMakeFiles/rc_sched_tests.dir/sched/cluster_test.cc.o.d"
+  "CMakeFiles/rc_sched_tests.dir/sched/rules_test.cc.o"
+  "CMakeFiles/rc_sched_tests.dir/sched/rules_test.cc.o.d"
+  "CMakeFiles/rc_sched_tests.dir/sched/scheduler_test.cc.o"
+  "CMakeFiles/rc_sched_tests.dir/sched/scheduler_test.cc.o.d"
+  "CMakeFiles/rc_sched_tests.dir/sched/simulator_test.cc.o"
+  "CMakeFiles/rc_sched_tests.dir/sched/simulator_test.cc.o.d"
+  "rc_sched_tests"
+  "rc_sched_tests.pdb"
+  "rc_sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

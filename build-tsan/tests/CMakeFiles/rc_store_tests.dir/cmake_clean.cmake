@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_store_tests.dir/store/disk_cache_test.cc.o"
+  "CMakeFiles/rc_store_tests.dir/store/disk_cache_test.cc.o.d"
+  "CMakeFiles/rc_store_tests.dir/store/kv_store_test.cc.o"
+  "CMakeFiles/rc_store_tests.dir/store/kv_store_test.cc.o.d"
+  "rc_store_tests"
+  "rc_store_tests.pdb"
+  "rc_store_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_store_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_trace_tests.dir/trace/arrival_process_test.cc.o"
+  "CMakeFiles/rc_trace_tests.dir/trace/arrival_process_test.cc.o.d"
+  "CMakeFiles/rc_trace_tests.dir/trace/trace_io_test.cc.o"
+  "CMakeFiles/rc_trace_tests.dir/trace/trace_io_test.cc.o.d"
+  "CMakeFiles/rc_trace_tests.dir/trace/trace_test.cc.o"
+  "CMakeFiles/rc_trace_tests.dir/trace/trace_test.cc.o.d"
+  "CMakeFiles/rc_trace_tests.dir/trace/utilization_test.cc.o"
+  "CMakeFiles/rc_trace_tests.dir/trace/utilization_test.cc.o.d"
+  "CMakeFiles/rc_trace_tests.dir/trace/vm_size_catalog_test.cc.o"
+  "CMakeFiles/rc_trace_tests.dir/trace/vm_size_catalog_test.cc.o.d"
+  "CMakeFiles/rc_trace_tests.dir/trace/workload_model_test.cc.o"
+  "CMakeFiles/rc_trace_tests.dir/trace/workload_model_test.cc.o.d"
+  "CMakeFiles/rc_trace_tests.dir/trace/workload_property_test.cc.o"
+  "CMakeFiles/rc_trace_tests.dir/trace/workload_property_test.cc.o.d"
+  "rc_trace_tests"
+  "rc_trace_tests.pdb"
+  "rc_trace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_trace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/rc_common_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rc_trace_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rc_ml_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rc_analysis_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rc_store_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rc_core_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rc_sched_tests[1]_include.cmake")
+include("/root/repo/build-tsan/tests/rc_integration_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_predict.dir/rc_predict.cc.o"
+  "CMakeFiles/rc_predict.dir/rc_predict.cc.o.d"
+  "rc_predict"
+  "rc_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

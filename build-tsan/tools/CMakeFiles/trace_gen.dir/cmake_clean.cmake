@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_gen.dir/trace_gen.cc.o"
+  "CMakeFiles/trace_gen.dir/trace_gen.cc.o.d"
+  "trace_gen"
+  "trace_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

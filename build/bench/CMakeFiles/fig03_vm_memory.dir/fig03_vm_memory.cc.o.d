@@ -220,16 +220,23 @@ bench/CMakeFiles/fig03_vm_memory.dir/fig03_vm_memory.cc.o: \
  /root/repo/src/ml/classifier.h /root/repo/src/ml/gbt.h \
  /root/repo/src/ml/dataset.h /root/repo/src/ml/tree.h \
  /root/repo/src/ml/random_forest.h /root/repo/src/store/kv_store.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/optional \
- /root/repo/src/trace/trace.h /root/repo/src/trace/workload_model.h \
+ /usr/include/c++/12/optional /root/repo/src/trace/trace.h \
+ /root/repo/src/trace/workload_model.h \
  /root/repo/src/trace/arrival_process.h \
  /root/repo/src/analysis/characterization.h \
  /root/repo/src/analysis/periodicity.h /root/repo/src/analysis/spearman.h \

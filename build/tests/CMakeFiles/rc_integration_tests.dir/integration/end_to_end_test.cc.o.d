@@ -297,6 +297,8 @@ tests/CMakeFiles/rc_integration_tests.dir/integration/end_to_end_test.cc.o: \
  /root/repo/src/core/client.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/span \
+ /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/core/featurizer.h /root/repo/src/common/buckets.h \
  /root/repo/src/common/sim_time.h /root/repo/src/core/feature_data.h \
  /root/repo/src/ml/bytes.h /usr/include/c++/12/cstring \
@@ -307,6 +309,13 @@ tests/CMakeFiles/rc_integration_tests.dir/integration/end_to_end_test.cc.o: \
  /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/fs_path.h \
  /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
  /usr/include/c++/12/bits/fs_ops.h /root/repo/src/store/kv_store.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/core/evaluation.h /root/repo/src/core/offline_pipeline.h \
  /root/repo/src/ml/gbt.h /root/repo/src/ml/dataset.h \
  /root/repo/src/ml/tree.h /root/repo/src/ml/random_forest.h \
