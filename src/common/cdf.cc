@@ -37,7 +37,12 @@ double EmpiricalCdf::Quantile(double q) const {
     throw std::logic_error("EmpiricalCdf: Quantile on empty/unfinalized CDF");
   }
   q = std::clamp(q, 0.0, 1.0);
-  size_t idx = static_cast<size_t>(std::ceil(q * static_cast<double>(samples_.size()))) ;
+  // Smallest rank i with i/n >= q. The epsilon absorbs floating-point noise:
+  // for q = k/n the product q*n can land a hair above k, and without the
+  // guard ceil() would skip to the next sample, breaking the Galois
+  // inequality Quantile(Eval(x)) <= x.
+  size_t idx = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(samples_.size()) - 1e-9));
   if (idx > 0) --idx;
   if (idx >= samples_.size()) idx = samples_.size() - 1;
   return samples_[idx];

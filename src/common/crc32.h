@@ -1,0 +1,24 @@
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to checksum every
+// blob that crosses a durability or transport boundary: store payloads, the
+// client's disk mirror, and the on-disk cache frames. A stale or mismatched
+// CRC is how the client detects corrupt and torn blobs and falls back to its
+// last good snapshot instead of crashing (paper Section 4: "fail gracefully").
+#ifndef RC_SRC_COMMON_CRC32_H_
+#define RC_SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rc {
+
+// Running CRC: pass the previous result as `crc` to extend over more bytes.
+uint32_t Crc32(const uint8_t* data, size_t size, uint32_t crc = 0);
+
+inline uint32_t Crc32(const std::vector<uint8_t>& bytes, uint32_t crc = 0) {
+  return Crc32(bytes.data(), bytes.size(), crc);
+}
+
+}  // namespace rc
+
+#endif  // RC_SRC_COMMON_CRC32_H_

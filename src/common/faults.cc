@@ -1,0 +1,112 @@
+#include "src/common/faults.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace rc::faults {
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked: outlives all users
+  return *registry;
+}
+
+void Registry::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site entry;
+  entry.spec = spec;
+  entry.rng = Rng(spec.seed);
+  auto [it, inserted] = sites_.insert_or_assign(site, std::move(entry));
+  (void)it;
+  if (inserted) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) > 0) {
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Registry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_sites_.fetch_sub(sites_.size(), std::memory_order_relaxed);
+  sites_.clear();
+}
+
+uint64_t Registry::calls(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+uint64_t Registry::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+Registry::Site* Registry::FindLocked(const std::string& site, FaultKind kind) {
+  auto it = sites_.find(site);
+  if (it == sites_.end() || it->second.spec.kind != kind) return nullptr;
+  return &it->second;
+}
+
+bool Registry::FireLocked(Site& site) {
+  const FaultSpec& spec = site.spec;
+  uint64_t index = site.calls++;  // 0-based position among matching calls
+  if (index < spec.skip_first) return false;
+  if (site.fires >= spec.max_fires) return false;
+  uint64_t window_pos = index - spec.skip_first;
+  if (spec.every_nth > 1 && window_pos % spec.every_nth != 0) return false;
+  if (spec.probability < 1.0 && site.rng.NextDouble() >= spec.probability) return false;
+  site.fires += 1;
+  return true;
+}
+
+bool Registry::ShouldError(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site* entry = FindLocked(site, FaultKind::kError);
+  return entry != nullptr && FireLocked(*entry);
+}
+
+double Registry::LatencyUs(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site* entry = FindLocked(site, FaultKind::kLatency);
+  if (entry == nullptr || !FireLocked(*entry)) return 0.0;
+  return entry->spec.latency_us;
+}
+
+bool Registry::MutateBytes(const std::string& site, std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site* entry = FindLocked(site, FaultKind::kCorrupt);
+  if (entry != nullptr) {
+    if (!FireLocked(*entry) || bytes.empty()) return false;
+    int flips = std::max(1, entry->spec.corrupt_flips);
+    for (int i = 0; i < flips; ++i) {
+      size_t pos = static_cast<size_t>(
+          entry->rng.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      // XOR with a nonzero byte so a flip always changes the payload.
+      bytes[pos] ^= static_cast<uint8_t>(entry->rng.UniformInt(1, 255));
+    }
+    return true;
+  }
+  entry = FindLocked(site, FaultKind::kTruncate);
+  if (entry != nullptr) {
+    if (!FireLocked(*entry)) return false;
+    if (entry->spec.truncate_to >= bytes.size()) return false;
+    bytes.resize(entry->spec.truncate_to);
+    return true;
+  }
+  return false;
+}
+
+void InjectLatency(const std::string& site) {
+  Registry& registry = Registry::Global();
+  if (!registry.armed()) return;
+  double us = registry.LatencyUs(site);
+  if (us <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(static_cast<int64_t>(us)));
+}
+
+}  // namespace rc::faults

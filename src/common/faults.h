@@ -1,0 +1,140 @@
+// Deterministic, seedable fault injection ("failpoints") for the store and
+// client path. Production code declares named injection sites; tests arm a
+// site with a FaultSpec describing WHAT goes wrong (I/O error, corrupt bytes,
+// torn/partial write, injected latency) and WHEN it goes wrong (every call, a
+// Bernoulli coin with a fixed seed, every Nth call, a one-shot, or an outage
+// window of calls [skip_first, skip_first + max_fires)). Everything is
+// reproducible: triggers are counted per site and randomness comes from a
+// per-site xoshiro RNG seeded by the spec, never from global entropy.
+//
+// Cost when nothing is armed: a single relaxed atomic load per injection
+// site, so sites are safe on hot paths.
+//
+// Registered sites (grep for the string to find the code):
+//   kv/get            store read       error | corrupt | latency
+//   kv/put            store write      error | corrupt | truncate | latency
+//   disk/write        disk-cache write error | corrupt | truncate
+//   disk/read         disk-cache read  error | corrupt
+//   client/store_read client-side shim around store reads   error
+//   client/persist_index  client disk-index writeback       error
+//   pipeline/publish  offline pipeline publication          error
+#ifndef RC_SRC_COMMON_FAULTS_H_
+#define RC_SRC_COMMON_FAULTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace rc::faults {
+
+enum class FaultKind : uint8_t {
+  kError,     // the site reports failure (I/O error / unreachable store)
+  kCorrupt,   // payload bytes are flipped (checksum must catch this)
+  kTruncate,  // payload is cut short (torn / partial write)
+  kLatency,   // the call is delayed by latency_us
+};
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kError;
+
+  // Trigger: a call to a site of the matching kind fires when, in order,
+  //   (1) at least skip_first matching calls have already happened,
+  //   (2) fewer than max_fires faults have fired so far,
+  //   (3) the call's position within the window is a multiple of every_nth,
+  //   (4) a seeded Bernoulli(probability) coin comes up heads.
+  // Defaults fire on every call. One-shot: max_fires = 1. Outage window of
+  // calls [a, a+n): skip_first = a, max_fires = n.
+  uint64_t skip_first = 0;
+  uint64_t max_fires = std::numeric_limits<uint64_t>::max();
+  uint64_t every_nth = 1;
+  double probability = 1.0;
+  uint64_t seed = 0x5eedf417u;  // drives the coin and the corruption bytes
+
+  double latency_us = 0.0;    // kLatency: injected delay
+  size_t truncate_to = 0;     // kTruncate: bytes kept
+  int corrupt_flips = 3;      // kCorrupt: number of byte flips per fire
+};
+
+class Registry {
+ public:
+  static Registry& Global();
+
+  void Arm(const std::string& site, FaultSpec spec);
+  void Disarm(const std::string& site);
+  void DisarmAll();
+
+  // True when any site is armed; one relaxed load, no lock.
+  bool armed() const { return armed_sites_.load(std::memory_order_relaxed) > 0; }
+
+  // Introspection for tests: matching-kind evaluations and actual fires.
+  uint64_t calls(const std::string& site) const;
+  uint64_t fires(const std::string& site) const;
+
+  // Site evaluation; each consults the spec armed at `site` iff its kind
+  // matches, advances the trigger state, and reports the decision.
+  bool ShouldError(const std::string& site);
+  double LatencyUs(const std::string& site);  // 0 when no latency fires
+  // Applies kCorrupt byte flips or kTruncate shortening in place.
+  bool MutateBytes(const std::string& site, std::vector<uint8_t>& bytes);
+
+ private:
+  struct Site {
+    FaultSpec spec;
+    uint64_t calls = 0;
+    uint64_t fires = 0;
+    Rng rng{0};
+  };
+
+  // nullptr unless `site` is armed with the given kind. Requires mu_ held.
+  Site* FindLocked(const std::string& site, FaultKind kind);
+  // Advances trigger state for one matching call; true if the fault fires.
+  static bool FireLocked(Site& site);
+
+  mutable std::mutex mu_;
+  std::atomic<uint64_t> armed_sites_{0};
+  std::unordered_map<std::string, Site> sites_;
+};
+
+// --- injection points (free functions used by production code) ---
+
+// True if an armed kError fault fires at this site.
+inline bool InjectError(const std::string& site) {
+  Registry& r = Registry::Global();
+  return r.armed() && r.ShouldError(site);
+}
+
+// Sleeps for the armed latency, if any. Defined in faults.cc (needs <thread>).
+void InjectLatency(const std::string& site);
+
+// Applies corruption/truncation to `bytes` in place; true if mutated.
+inline bool InjectMutation(const std::string& site, std::vector<uint8_t>& bytes) {
+  Registry& r = Registry::Global();
+  return r.armed() && r.MutateBytes(site, bytes);
+}
+
+// RAII arm/disarm for tests; disarms its site on scope exit.
+class ScopedFault {
+ public:
+  ScopedFault(std::string site, FaultSpec spec) : site_(std::move(site)) {
+    Registry::Global().Arm(site_, spec);
+  }
+  ~ScopedFault() { Registry::Global().Disarm(site_); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+}  // namespace rc::faults
+
+#endif  // RC_SRC_COMMON_FAULTS_H_

@@ -1,13 +1,28 @@
 #include "src/core/client.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
+#include "src/common/crc32.h"
+#include "src/common/faults.h"
 #include "src/common/hashing.h"
 
 namespace rc::core {
 
+using rc::store::KvStore;
 using rc::store::VersionedBlob;
+
+const char* ToString(DegradedReason reason) {
+  switch (reason) {
+    case DegradedReason::kNone: return "none";
+    case DegradedReason::kStoreOutage: return "store-outage";
+    case DegradedReason::kStoreErrors: return "store-errors";
+    case DegradedReason::kCorruptData: return "corrupt-data";
+  }
+  return "unknown";
+}
 
 namespace {
 // Disk-cache key holding the list of blob keys the client has seen, so a
@@ -101,7 +116,11 @@ bool Client::Initialize() {
                                                      const VersionedBlob& blob) {
         std::lock_guard<std::mutex> push_lock(writer_mu_);
         auto updated = std::make_shared<ClientState>(*master_state_);
-        if (IngestLocked(*updated, key, blob)) PersistIndexLocked();
+        IngestResult ingest = IngestLocked(*updated, key, blob);
+        // A corrupt push never replaces good state: keep serving the
+        // last-good snapshot (and its cached results) untouched.
+        if (!ingest.ok) return;
+        if (ingest.index_dirty) PersistIndexLocked();
         PublishLocked(std::move(updated));
         // New artifacts can invalidate cached results.
         InvalidateResultCache();
@@ -155,85 +174,211 @@ void Client::InvalidateResultCache() {
   }
 }
 
+void Client::SetDegraded(DegradedReason reason) {
+  degraded_reason_.store(static_cast<uint8_t>(reason), std::memory_order_relaxed);
+}
+
+bool Client::BreakerOpenLocked() {
+  if (!breaker_open_) return false;
+  if (std::chrono::steady_clock::now() < breaker_open_until_) return true;
+  // Half-open: let one probe through. A success closes the breaker; one more
+  // failure re-opens it immediately.
+  breaker_open_ = false;
+  consecutive_store_failures_ = std::max(0, config_.breaker_failure_threshold - 1);
+  return false;
+}
+
+void Client::BreakerFailureLocked() {
+  if (config_.breaker_failure_threshold <= 0) return;
+  consecutive_store_failures_ += 1;
+  if (!breaker_open_ && consecutive_store_failures_ >= config_.breaker_failure_threshold) {
+    breaker_open_ = true;
+    breaker_open_until_ = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(config_.breaker_open_us);
+    stats_.breaker_trips.fetch_add(1, kRelaxed);
+  }
+}
+
+void Client::BreakerSuccessLocked() {
+  consecutive_store_failures_ = 0;
+  breaker_open_ = false;
+  // A healthy store interaction ends an outage/error window; a corrupt-data
+  // window only ends on a clean ingest.
+  uint8_t reason = degraded_reason_.load(std::memory_order_relaxed);
+  if (reason == static_cast<uint8_t>(DegradedReason::kStoreOutage) ||
+      reason == static_cast<uint8_t>(DegradedReason::kStoreErrors)) {
+    SetDegraded(DegradedReason::kNone);
+  }
+}
+
+Client::StoreRead Client::StoreReadLocked(const std::string& key, VersionedBlob& out) {
+  if (store_ == nullptr) return StoreRead::kFailed;
+  if (BreakerOpenLocked()) return StoreRead::kFailed;  // don't hammer a failing store
+  int64_t backoff_us = std::max<int64_t>(1, config_.store_retry_backoff_us);
+  for (int attempt = 0;; ++attempt) {
+    KvStore::GetResult result = faults::InjectError("client/store_read")
+                                    ? KvStore::GetResult{KvStore::GetStatus::kError, {}}
+                                    : store_->TryGet(key);
+    switch (result.status) {
+      case KvStore::GetStatus::kOk:
+        BreakerSuccessLocked();
+        stats_.store_fetches.fetch_add(1, kRelaxed);
+        out = std::move(result.blob);
+        return StoreRead::kHit;
+      case KvStore::GetStatus::kNotFound:
+        BreakerSuccessLocked();
+        return StoreRead::kMiss;
+      case KvStore::GetStatus::kUnavailable:
+        // A reported outage is not retried: backing off cannot outlast it
+        // within one call, and the breaker stops subsequent attempts.
+        SetDegraded(DegradedReason::kStoreOutage);
+        BreakerFailureLocked();
+        return StoreRead::kFailed;
+      case KvStore::GetStatus::kError:
+        stats_.store_errors.fetch_add(1, kRelaxed);
+        SetDegraded(DegradedReason::kStoreErrors);
+        if (attempt >= config_.store_max_retries) {
+          BreakerFailureLocked();
+          return StoreRead::kFailed;
+        }
+        stats_.store_retries.fetch_add(1, kRelaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us *= 2;
+        break;
+    }
+  }
+}
+
 void Client::LoadAllFromStoreLocked(ClientState& state) {
+  auto deadline = std::chrono::steady_clock::time_point::max();
+  if (config_.reload_timeout_us > 0) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(config_.reload_timeout_us);
+  }
+  bool clean = true;
   for (const std::string& key : store_->ListKeys("")) {
-    if (auto blob = store_->Get(key)) {
-      stats_.store_fetches.fetch_add(1, kRelaxed);
-      IngestLocked(state, key, *blob);
+    if (std::chrono::steady_clock::now() > deadline) {
+      // Out of budget: stop fetching and serve what we have.
+      stats_.reload_timeouts.fetch_add(1, kRelaxed);
+      SetDegraded(DegradedReason::kStoreErrors);
+      clean = false;
+      break;
+    }
+    VersionedBlob blob;
+    StoreRead read = StoreReadLocked(key, blob);
+    if (read == StoreRead::kHit) {
+      clean &= IngestLocked(state, key, blob).ok;
+    } else if (read == StoreRead::kFailed) {
+      clean = false;
     }
   }
   // One index rewrite per batch, not one per newly seen key.
   PersistIndexLocked();
+  if (clean) SetDegraded(DegradedReason::kNone);
 }
 
 void Client::LoadAllFromDiskLocked(ClientState& state) {
-  if (auto index = disk_->Get(kIndexKey)) {
-    for (const std::string& key : DeserializeKeys(index->data)) {
-      if (auto blob = disk_->Get(key)) {
-        stats_.disk_hits.fetch_add(1, kRelaxed);
-        IngestLocked(state, key, *blob);
-      }
+  auto index = disk_->Get(kIndexKey);
+  if (!index) return;
+  std::vector<std::string> keys;
+  try {
+    keys = DeserializeKeys(index->data);
+  } catch (const std::exception&) {
+    stats_.decode_failures.fetch_add(1, kRelaxed);
+    return;  // corrupt index: nothing to restore
+  }
+  for (const std::string& key : keys) {
+    if (auto blob = disk_->Get(key)) {
+      stats_.disk_hits.fetch_add(1, kRelaxed);
+      IngestLocked(state, key, *blob);
     }
   }
 }
 
-bool Client::IngestLocked(ClientState& state, const std::string& key,
-                          const VersionedBlob& blob) {
-  uint64_t subscription_id = 0;
-  if (key.rfind(kModelKeyPrefix, 0) == 0) {
-    std::string name = key.substr(sizeof(kModelKeyPrefix) - 1);
-    auto entry = std::make_shared<LoadedModel>();
-    if (auto it = state.models.find(name); it != state.models.end()) {
-      entry->spec = it->second->spec;
-      entry->featurizer = it->second->featurizer;
-    }
-    entry->model = rc::ml::Classifier::DeserializeTagged(blob.data);
-    // The spec may arrive before or after the model; featurizer is built
-    // when both are present.
-    if (!entry->spec.name.empty() && entry->featurizer == nullptr) {
-      entry->featurizer =
-          std::make_shared<Featurizer>(entry->spec.metric, entry->spec.encoding);
-    }
-    state.models[name] = std::move(entry);
-  } else if (key.rfind(kSpecKeyPrefix, 0) == 0) {
-    ModelSpec spec = ModelSpec::Deserialize(blob.data);
-    auto entry = std::make_shared<LoadedModel>();
-    if (auto it = state.models.find(spec.name); it != state.models.end()) {
-      entry->model = it->second->model;
-    }
-    entry->spec = spec;
-    entry->featurizer = std::make_shared<Featurizer>(spec.metric, spec.encoding);
-    state.models[spec.name] = std::move(entry);
-  } else if (ParseFeatureKey(key, subscription_id)) {
-    state.features[subscription_id] = std::make_shared<const SubscriptionFeatures>(
-        SubscriptionFeatures::Deserialize(blob.data));
-  } else {
-    return false;  // unknown key family
+Client::IngestResult Client::IngestLocked(ClientState& state, const std::string& key,
+                                          const VersionedBlob& blob) {
+  IngestResult result;
+  // Reject-and-fallback: a corrupt blob must never replace good state. The
+  // checksum catches transport/at-rest corruption; the decode try-block
+  // catches structurally invalid payloads that happen to carry a valid CRC.
+  if (!rc::store::VerifyBlob(blob)) {
+    stats_.corrupt_blobs.fetch_add(1, kRelaxed);
+    SetDegraded(DegradedReason::kCorruptData);
+    return result;
   }
-  if (disk_ == nullptr) return false;
+  uint64_t subscription_id = 0;
+  try {
+    if (key.rfind(kModelKeyPrefix, 0) == 0) {
+      std::string name = key.substr(sizeof(kModelKeyPrefix) - 1);
+      auto entry = std::make_shared<LoadedModel>();
+      if (auto it = state.models.find(name); it != state.models.end()) {
+        entry->spec = it->second->spec;
+        entry->featurizer = it->second->featurizer;
+      }
+      entry->model = rc::ml::Classifier::DeserializeTagged(blob.data);
+      // The spec may arrive before or after the model; featurizer is built
+      // when both are present.
+      if (!entry->spec.name.empty() && entry->featurizer == nullptr) {
+        entry->featurizer =
+            std::make_shared<Featurizer>(entry->spec.metric, entry->spec.encoding);
+      }
+      state.models[name] = std::move(entry);
+    } else if (key.rfind(kSpecKeyPrefix, 0) == 0) {
+      ModelSpec spec = ModelSpec::Deserialize(blob.data);
+      auto entry = std::make_shared<LoadedModel>();
+      if (auto it = state.models.find(spec.name); it != state.models.end()) {
+        entry->model = it->second->model;
+      }
+      entry->spec = spec;
+      entry->featurizer = std::make_shared<Featurizer>(spec.metric, spec.encoding);
+      state.models[spec.name] = std::move(entry);
+    } else if (ParseFeatureKey(key, subscription_id)) {
+      state.features[subscription_id] = std::make_shared<const SubscriptionFeatures>(
+          SubscriptionFeatures::Deserialize(blob.data));
+    } else {
+      return result;  // unknown key family
+    }
+  } catch (const std::exception&) {
+    stats_.decode_failures.fetch_add(1, kRelaxed);
+    SetDegraded(DegradedReason::kCorruptData);
+    return result;
+  }
+  result.ok = true;
+  // A clean ingest ends a corrupt-data degradation window.
+  if (degraded_reason_.load(std::memory_order_relaxed) ==
+      static_cast<uint8_t>(DegradedReason::kCorruptData)) {
+    SetDegraded(DegradedReason::kNone);
+  }
+  if (disk_ == nullptr) return result;
   disk_->Put(key, blob);
   if (known_keys_set_.insert(key).second) {
     known_keys_.push_back(key);
-    return true;  // caller persists the index (once per batch)
+    result.index_dirty = true;  // caller persists the index (once per batch)
   }
-  return false;
+  return result;
 }
 
 void Client::PersistIndexLocked() {
   if (disk_ == nullptr) return;
+  if (faults::InjectError("client/persist_index")) return;  // mirror is best-effort
   VersionedBlob blob;
   blob.version = 1;
   blob.data = SerializeKeys(known_keys_);
+  blob.crc = Crc32(blob.data);
   disk_->Put(kIndexKey, blob);
 }
 
 std::optional<VersionedBlob> Client::FetchLocked(const std::string& key, bool allow_store) {
-  if (store_ != nullptr && allow_store && store_->available()) {
-    if (auto blob = store_->Get(key)) {
-      stats_.store_fetches.fetch_add(1, kRelaxed);
-      return blob;
+  if (store_ != nullptr && allow_store) {
+    VersionedBlob blob;
+    switch (StoreReadLocked(key, blob)) {
+      case StoreRead::kHit:
+        return blob;
+      case StoreRead::kMiss:
+        return std::nullopt;  // store healthy, key genuinely absent
+      case StoreRead::kFailed:
+        break;  // outage / errors / open breaker: degrade to the disk mirror
     }
-    return std::nullopt;  // store up, key genuinely absent
   }
   // Store down (or absent): the disk cache is the fallback.
   if (disk_ != nullptr) {
@@ -251,8 +396,8 @@ bool Client::LoadModelLocked(ClientState& state, const std::string& model_name,
   auto spec_blob = FetchLocked(SpecKey(model_name), allow_store);
   auto model_blob = FetchLocked(ModelKey(model_name), allow_store);
   if (!spec_blob || !model_blob) return false;
-  bool index_dirty = IngestLocked(state, SpecKey(model_name), *spec_blob);
-  index_dirty |= IngestLocked(state, ModelKey(model_name), *model_blob);
+  bool index_dirty = IngestLocked(state, SpecKey(model_name), *spec_blob).index_dirty;
+  index_dirty |= IngestLocked(state, ModelKey(model_name), *model_blob).index_dirty;
   if (index_dirty) PersistIndexLocked();
   return state.FindReadyModel(model_name) != nullptr;
 }
@@ -262,7 +407,9 @@ bool Client::LoadFeaturesLocked(ClientState& state, uint64_t subscription_id,
   if (state.FindFeatures(subscription_id) != nullptr) return true;
   auto blob = FetchLocked(FeatureKey(subscription_id), allow_store);
   if (!blob) return false;
-  if (IngestLocked(state, FeatureKey(subscription_id), *blob)) PersistIndexLocked();
+  if (IngestLocked(state, FeatureKey(subscription_id), *blob).index_dirty) {
+    PersistIndexLocked();
+  }
   return state.FindFeatures(subscription_id) != nullptr;
 }
 
@@ -376,11 +523,22 @@ std::vector<Prediction> Client::PredictMany(const std::string& model_name,
 
 void Client::ForceReloadCache() {
   std::lock_guard<std::mutex> lock(writer_mu_);
-  if (store_ != nullptr && store_->available()) {
-    auto next = std::make_shared<ClientState>();
-    LoadAllFromStoreLocked(*next);
-    PublishLocked(std::move(next));
+  if (store_ == nullptr) {
+    InvalidateResultCache();
+    return;
   }
+  if (!store_->available()) {
+    // Outage: keep serving the last-good snapshot and its cached results.
+    SetDegraded(DegradedReason::kStoreOutage);
+    BreakerFailureLocked();
+    return;
+  }
+  // Overlay fresh artifacts onto the last-good state, so keys whose reads
+  // fail mid-reload (errors, timeout) keep their previous value instead of
+  // vanishing from the snapshot.
+  auto next = std::make_shared<ClientState>(*master_state_);
+  LoadAllFromStoreLocked(*next);
+  PublishLocked(std::move(next));
   InvalidateResultCache();
 }
 
@@ -401,6 +559,14 @@ ClientStats Client::stats() const {
   out.store_fetches = stats_.store_fetches.load(kRelaxed);
   out.disk_hits = stats_.disk_hits.load(kRelaxed);
   out.no_predictions = stats_.no_predictions.load(kRelaxed);
+  out.store_errors = stats_.store_errors.load(kRelaxed);
+  out.store_retries = stats_.store_retries.load(kRelaxed);
+  out.corrupt_blobs = stats_.corrupt_blobs.load(kRelaxed);
+  out.decode_failures = stats_.decode_failures.load(kRelaxed);
+  out.breaker_trips = stats_.breaker_trips.load(kRelaxed);
+  out.reload_timeouts = stats_.reload_timeouts.load(kRelaxed);
+  out.degraded_reason =
+      static_cast<DegradedReason>(degraded_reason_.load(std::memory_order_relaxed));
   return out;
 }
 

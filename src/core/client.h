@@ -30,6 +30,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -67,7 +68,33 @@ struct ClientConfig {
   // Local disk cache directory; empty disables the disk cache.
   std::string disk_cache_dir;
   int64_t disk_expiry_seconds = 7 * 24 * 3600;
+
+  // --- graceful degradation (the paper's "the client DLL must never impact
+  // the caller") ---
+  // Store read errors are retried with doubling backoff before the client
+  // gives up and falls back to its disk mirror / last-good snapshot.
+  int store_max_retries = 2;
+  int64_t store_retry_backoff_us = 200;
+  // Budget for a full reload (Initialize / ForceReloadCache) across all
+  // keys; on expiry the reload stops and keeps what it has. 0 = unbounded.
+  int64_t reload_timeout_us = 0;
+  // Circuit breaker: after this many consecutive store failures the client
+  // stops contacting the store for breaker_open_us, then lets one probe
+  // through (half-open). <= 0 disables the breaker.
+  int breaker_failure_threshold = 5;
+  int64_t breaker_open_us = 100'000;
 };
+
+// Why the client is currently serving from stale/partial state. kNone means
+// healthy; anything else marks a degraded window. The reason clears on the
+// next fully successful store interaction (clean ingest or reload).
+enum class DegradedReason : uint8_t {
+  kNone = 0,
+  kStoreOutage = 1,   // store reported unavailable
+  kStoreErrors = 2,   // read errors / retries exhausted / reload timeout
+  kCorruptData = 3,   // checksum or decode failure on a received blob
+};
+const char* ToString(DegradedReason reason);
 
 struct ClientStats {
   uint64_t result_hits = 0;
@@ -76,6 +103,16 @@ struct ClientStats {
   uint64_t store_fetches = 0;
   uint64_t disk_hits = 0;
   uint64_t no_predictions = 0;
+  // Degradation counters: how often the store failed us and how we coped.
+  uint64_t store_errors = 0;      // failed store reads (before retries)
+  uint64_t store_retries = 0;     // retry attempts after an error
+  uint64_t corrupt_blobs = 0;     // blobs rejected by checksum verification
+  uint64_t decode_failures = 0;   // blobs with a valid CRC that failed decode
+  uint64_t breaker_trips = 0;     // circuit-breaker open transitions
+  uint64_t reload_timeouts = 0;   // full reloads cut short by the deadline
+  DegradedReason degraded_reason = DegradedReason::kNone;
+
+  bool degraded() const { return degraded_reason != DegradedReason::kNone; }
 };
 
 class Client {
@@ -170,6 +207,12 @@ class Client {
     std::atomic<uint64_t> store_fetches{0};
     std::atomic<uint64_t> disk_hits{0};
     std::atomic<uint64_t> no_predictions{0};
+    std::atomic<uint64_t> store_errors{0};
+    std::atomic<uint64_t> store_retries{0};
+    std::atomic<uint64_t> corrupt_blobs{0};
+    std::atomic<uint64_t> decode_failures{0};
+    std::atomic<uint64_t> breaker_trips{0};
+    std::atomic<uint64_t> reload_timeouts{0};
   };
 
   // --- contention-free read side ---
@@ -185,13 +228,30 @@ class Client {
   // --- write side; all Locked methods require writer_mu_ held ---
   void PublishLocked(std::shared_ptr<ClientState> next);
   void InvalidateResultCache();
-  // Returns true if `key` was newly mirrored to disk (index needs a rewrite).
-  bool IngestLocked(ClientState& state, const std::string& key,
-                    const rc::store::VersionedBlob& blob);
+  // Outcome of ingesting one blob. `ok` is false when the blob was rejected
+  // (checksum mismatch, decode failure, unknown key family) — rejected blobs
+  // never replace good state. `index_dirty` means the key was newly mirrored
+  // to disk and the caller should persist the index (once per batch).
+  struct IngestResult {
+    bool ok = false;
+    bool index_dirty = false;
+  };
+  IngestResult IngestLocked(ClientState& state, const std::string& key,
+                            const rc::store::VersionedBlob& blob);
   bool LoadModelLocked(ClientState& state, const std::string& model_name, bool allow_store);
   bool LoadFeaturesLocked(ClientState& state, uint64_t subscription_id, bool allow_store);
   std::optional<rc::store::VersionedBlob> FetchLocked(const std::string& key,
                                                       bool allow_store);
+  // Store read with bounded retry + backoff behind the circuit breaker.
+  // kHit fills `out`; kMiss is an authoritative absence (store healthy, key
+  // not there); kFailed means the store could not answer — fall back.
+  enum class StoreRead { kHit, kMiss, kFailed };
+  StoreRead StoreReadLocked(const std::string& key, rc::store::VersionedBlob& out);
+  // Circuit-breaker bookkeeping; all require writer_mu_ held.
+  bool BreakerOpenLocked();
+  void BreakerFailureLocked();
+  void BreakerSuccessLocked();
+  void SetDegraded(DegradedReason reason);
   void LoadAllFromStoreLocked(ClientState& state);
   void LoadAllFromDiskLocked(ClientState& state);
   void PersistIndexLocked();
@@ -219,6 +279,14 @@ class Client {
   std::vector<std::string> known_keys_;             // disk-index persistence order
   std::unordered_set<std::string> known_keys_set_;  // O(1) duplicate check
   int store_subscription_ = -1;
+
+  // Circuit-breaker state; guarded by writer_mu_ (all store access holds it).
+  int consecutive_store_failures_ = 0;
+  bool breaker_open_ = false;
+  std::chrono::steady_clock::time_point breaker_open_until_{};
+
+  // Current degradation reason, readable from stats() without a lock.
+  std::atomic<uint8_t> degraded_reason_{0};
 
   mutable StatsCounters stats_;
 };

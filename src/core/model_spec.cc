@@ -19,8 +19,18 @@ ModelSpec ModelSpec::Deserialize(const std::vector<uint8_t>& bytes) {
   rc::ml::ByteReader r(bytes);
   ModelSpec spec;
   spec.name = r.String();
-  spec.metric = static_cast<Metric>(r.I32());
-  spec.encoding = static_cast<FeatureEncoding>(r.I32());
+  int32_t metric = r.I32();
+  int32_t encoding = r.I32();
+  // Validate enums here rather than crashing downstream: a Featurizer built
+  // from an out-of-range metric would index tables out of bounds.
+  if (metric < 0 || metric >= kNumMetrics) {
+    throw std::runtime_error("ModelSpec: metric out of range");
+  }
+  if (encoding < 0 || encoding > static_cast<int32_t>(FeatureEncoding::kCompact)) {
+    throw std::runtime_error("ModelSpec: encoding out of range");
+  }
+  spec.metric = static_cast<Metric>(metric);
+  spec.encoding = static_cast<FeatureEncoding>(encoding);
   spec.model_family = r.String();
   spec.num_features = r.U32();
   spec.version = r.U64();

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/analysis/periodicity.h"
+#include "src/common/faults.h"
 #include "src/common/sim_time.h"
 
 namespace rc::core {
@@ -292,16 +293,29 @@ TrainedModels OfflinePipeline::Run(const Trace& trace) const {
   return trained;
 }
 
-void OfflinePipeline::Publish(const TrainedModels& trained, rc::store::KvStore& store) {
+size_t OfflinePipeline::Publish(const TrainedModels& trained, rc::store::KvStore& store) {
+  // Transient publish failures (outage blips, injected faults) are retried;
+  // a record that still fails after kAttempts is skipped, not fatal — the
+  // next pipeline run republishes everything anyway.
+  constexpr int kAttempts = 3;
+  auto put = [&store](const std::string& key, const std::vector<uint8_t>& bytes) -> bool {
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      if (rc::faults::InjectError("pipeline/publish")) continue;
+      if (store.Put(key, bytes) != 0) return true;
+    }
+    return false;
+  };
+  size_t published = 0;
   for (const auto& [name, spec] : trained.specs) {
-    store.Put(SpecKey(name), spec.Serialize());
+    published += put(SpecKey(name), spec.Serialize()) ? 1 : 0;
   }
   for (const auto& [name, model] : trained.models) {
-    store.Put(ModelKey(name), model->SerializeTagged());
+    published += put(ModelKey(name), model->SerializeTagged()) ? 1 : 0;
   }
   for (const auto& [sub_id, features] : trained.feature_data) {
-    store.Put(FeatureKey(sub_id), features.Serialize());
+    published += put(FeatureKey(sub_id), features.Serialize()) ? 1 : 0;
   }
+  return published;
 }
 
 }  // namespace rc::core

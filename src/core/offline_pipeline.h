@@ -81,8 +81,11 @@ class OfflinePipeline {
   static rc::ml::Dataset ToDataset(const std::vector<LabeledExample>& examples,
                                    const Featurizer& featurizer);
 
-  // Publishes models, specs, and feature data to the store.
-  static void Publish(const TrainedModels& trained, rc::store::KvStore& store);
+  // Publishes models, specs, and feature data to the store. Failed writes
+  // (store outage, injected publish faults) are retried a bounded number of
+  // times; returns how many records were durably published so callers can
+  // detect a partial publication.
+  static size_t Publish(const TrainedModels& trained, rc::store::KvStore& store);
 
   // Default model family per metric (Table 1): Random Forest for the two
   // utilization metrics, boosted trees for the rest.

@@ -33,6 +33,7 @@ class ByteWriter {
 
   void String(std::string_view s) {
     U32(static_cast<uint32_t>(s.size()));
+    if (s.empty()) return;  // empty view's data() may be null; memcpy(_, null, 0) is UB
     size_t off = buf_.size();
     buf_.resize(off + s.size());
     std::memcpy(buf_.data() + off, s.data(), s.size());
@@ -42,6 +43,7 @@ class ByteWriter {
   void PodVector(const std::vector<T>& v) {
     static_assert(std::is_trivially_copyable_v<T>);
     U32(static_cast<uint32_t>(v.size()));
+    if (v.empty()) return;  // empty vector's data() may be null; memcpy(_, null, 0) is UB
     size_t off = buf_.size();
     buf_.resize(off + v.size() * sizeof(T));
     std::memcpy(buf_.data() + off, v.data(), v.size() * sizeof(T));
@@ -90,7 +92,7 @@ class ByteReader {
     uint32_t n = U32();
     Require(static_cast<size_t>(n) * sizeof(T));
     std::vector<T> v(n);
-    std::memcpy(v.data(), data_ + pos_, static_cast<size_t>(n) * sizeof(T));
+    if (n != 0) std::memcpy(v.data(), data_ + pos_, static_cast<size_t>(n) * sizeof(T));
     pos_ += static_cast<size_t>(n) * sizeof(T);
     return v;
   }

@@ -167,11 +167,33 @@ GradientBoostedTrees GradientBoostedTrees::Deserialize(ByteReader& r) {
   GradientBoostedTrees model;
   model.num_classes_ = r.I32();
   model.num_features_ = r.I32();
+  if (model.num_classes_ < 0 || model.num_classes_ > (1 << 20) || model.num_features_ < 0 ||
+      model.num_features_ > (1 << 20)) {
+    throw std::runtime_error("GradientBoostedTrees: implausible header");
+  }
+  if (model.num_classes_ < 2) {
+    throw std::runtime_error("GradientBoostedTrees: need at least 2 classes");
+  }
   model.learning_rate_ = r.F64();
   model.base_score_ = r.PodVector<double>();
+  // PredictProba indexes base_score_ directly; its size is fixed by the
+  // class count (1 logit for binary, k for multiclass).
+  size_t want_scores = model.num_classes_ == 2 ? 1 : static_cast<size_t>(model.num_classes_);
+  if (model.base_score_.size() != want_scores) {
+    throw std::runtime_error("GradientBoostedTrees: base score size mismatch");
+  }
   uint32_t n = r.U32();
+  // A serialized tree is at least ~24 bytes; reject counts the buffer cannot
+  // back before reserve() tries to allocate for them.
+  if (static_cast<size_t>(n) > r.remaining() / 24) {
+    throw std::runtime_error("GradientBoostedTrees: tree count exceeds buffer");
+  }
   model.trees_.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) model.trees_.push_back(DecisionTree::Deserialize(r));
+  // Boosting trees are regression trees (num_classes == 0): PredictValue
+  // indexes leaf_values_, which only the regression payload check covers.
+  for (uint32_t i = 0; i < n; ++i) {
+    model.trees_.push_back(DecisionTree::Deserialize(r, 0, model.num_features_));
+  }
   return model;
 }
 

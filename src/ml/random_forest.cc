@@ -105,9 +105,21 @@ RandomForest RandomForest::Deserialize(ByteReader& r) {
   RandomForest forest;
   forest.num_classes_ = r.I32();
   forest.num_features_ = r.I32();
+  if (forest.num_classes_ < 0 || forest.num_classes_ > (1 << 20) || forest.num_features_ < 0 ||
+      forest.num_features_ > (1 << 20)) {
+    throw std::runtime_error("RandomForest: implausible header");
+  }
   uint32_t n = r.U32();
+  // A serialized tree is at least ~24 bytes; reject counts the buffer cannot
+  // back before reserve() tries to allocate for them.
+  if (static_cast<size_t>(n) > r.remaining() / 24) {
+    throw std::runtime_error("RandomForest: tree count exceeds buffer");
+  }
   forest.trees_.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) forest.trees_.push_back(DecisionTree::Deserialize(r));
+  for (uint32_t i = 0; i < n; ++i) {
+    forest.trees_.push_back(
+        DecisionTree::Deserialize(r, forest.num_classes_, forest.num_features_));
+  }
   return forest;
 }
 

@@ -347,10 +347,24 @@ void DecisionTree::Serialize(ByteWriter& w) const {
   w.PodVector(leaf_values_);
 }
 
-DecisionTree DecisionTree::Deserialize(ByteReader& r) {
+DecisionTree DecisionTree::Deserialize(ByteReader& r, int32_t expected_classes,
+                                       int32_t num_features) {
   DecisionTree tree;
   tree.num_classes_ = r.I32();
+  if (tree.num_classes_ < 0 || tree.num_classes_ > (1 << 20)) {
+    throw std::runtime_error("DecisionTree: implausible class count");
+  }
+  if (expected_classes >= 0 && tree.num_classes_ != expected_classes) {
+    throw std::runtime_error("DecisionTree: class count disagrees with ensemble");
+  }
   uint32_t n = r.U32();
+  // Each serialized node is 24 bytes; a count the buffer cannot possibly
+  // back is corruption — reject before the resize() tries to allocate.
+  constexpr size_t kNodeBytes = 4 + 8 + 4 + 4 + 4;
+  if (n == 0) throw std::runtime_error("DecisionTree: empty tree");
+  if (static_cast<size_t>(n) > r.remaining() / kNodeBytes) {
+    throw std::runtime_error("DecisionTree: node count exceeds buffer");
+  }
   tree.nodes_.resize(n);
   for (auto& node : tree.nodes_) {
     node.feature = r.I32();
@@ -361,6 +375,33 @@ DecisionTree DecisionTree::Deserialize(ByteReader& r) {
   }
   tree.leaf_probs_ = r.PodVector<float>();
   tree.leaf_values_ = r.PodVector<double>();
+  // Structural validation, so a decoded tree can never walk out of bounds or
+  // loop forever at prediction time. Children always follow their parent in
+  // the serialized order (the builder appends them after), so requiring
+  // child > parent also guarantees traversal terminates.
+  int64_t num_leaf_prob_rows =
+      tree.num_classes_ > 0
+          ? static_cast<int64_t>(tree.leaf_probs_.size()) / tree.num_classes_
+          : 0;
+  for (size_t i = 0; i < tree.nodes_.size(); ++i) {
+    const Node& node = tree.nodes_[i];
+    if (node.feature < 0) {  // leaf: payload indexes the leaf tables
+      bool valid_payload =
+          tree.num_classes_ > 0
+              ? node.payload >= 0 && node.payload < num_leaf_prob_rows
+              : node.payload >= 0 &&
+                    static_cast<size_t>(node.payload) < tree.leaf_values_.size();
+      if (!valid_payload) throw std::runtime_error("DecisionTree: leaf payload out of range");
+    } else {
+      if (node.left <= static_cast<int32_t>(i) || node.right <= static_cast<int32_t>(i) ||
+          static_cast<uint32_t>(node.left) >= n || static_cast<uint32_t>(node.right) >= n) {
+        throw std::runtime_error("DecisionTree: child index out of range");
+      }
+      if (num_features >= 0 && node.feature >= num_features) {
+        throw std::runtime_error("DecisionTree: split feature out of range");
+      }
+    }
+  }
   return tree;
 }
 

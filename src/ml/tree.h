@@ -72,7 +72,12 @@ class DecisionTree {
   const std::vector<double>& gain_importance() const { return gain_importance_; }
 
   void Serialize(ByteWriter& w) const;
-  static DecisionTree Deserialize(ByteReader& r);
+  // Deserializes and structurally validates one tree. When the caller knows
+  // the ensemble contract it can pass `expected_classes` (exact match; GBT
+  // regression trees use 0) and `num_features` (exclusive upper bound on
+  // split feature indices); -1 skips the respective check.
+  static DecisionTree Deserialize(ByteReader& r, int32_t expected_classes = -1,
+                                  int32_t num_features = -1);
 
  private:
   struct Node {

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "src/common/crc32.h"
+#include "src/common/faults.h"
 #include "src/common/hashing.h"
 
 namespace rc::store {
@@ -12,10 +14,31 @@ namespace {
 
 constexpr uint64_t kMagic = 0x52435f4443414348ULL;  // "RC_DCACH"
 
+// Frame layout: magic(8) stamp(8) version(8) crc(4) size(8) payload(size).
+// The CRC covers the payload only; the fixed header is validated by the magic
+// and by requiring the file length to match `size` exactly, so torn writes
+// (short files) and appended garbage are both rejected.
+constexpr size_t kHeaderBytes = 8 + 8 + 8 + 4 + 8;
+
 int64_t NowUnix() {
   return std::chrono::duration_cast<std::chrono::seconds>(
              std::chrono::system_clock::now().time_since_epoch())
       .count();
+}
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>& buf, const T& v) {
+  size_t off = buf.size();
+  buf.resize(off + sizeof(T));
+  std::memcpy(buf.data() + off, &v, sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const std::vector<uint8_t>& buf, size_t& pos, T& v) {
+  if (pos + sizeof(T) > buf.size()) return false;
+  std::memcpy(&v, buf.data() + pos, sizeof(T));
+  pos += sizeof(T);
+  return true;
 }
 
 }  // namespace
@@ -40,18 +63,25 @@ std::filesystem::path DiskCache::PathFor(const std::string& key) const {
 
 void DiskCache::Put(const std::string& key, const VersionedBlob& blob, int64_t now_unix) {
   if (now_unix < 0) now_unix = NowUnix();
+  if (faults::InjectError("disk/write")) return;  // cache writes are best-effort
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderBytes + blob.data.size());
+  AppendPod(frame, kMagic);
+  AppendPod(frame, now_unix);
+  AppendPod(frame, blob.version);
+  AppendPod(frame, Crc32(blob.data));  // authoritative: recomputed at write time
+  AppendPod(frame, static_cast<uint64_t>(blob.data.size()));
+  frame.insert(frame.end(), blob.data.begin(), blob.data.end());
+  // A torn or bit-flipped write mutates the frame after it was sealed, like a
+  // crash mid-write on a filesystem without atomic rename.
+  faults::InjectMutation("disk/write", frame);
   std::filesystem::path tmp = PathFor(key);
   tmp += ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return;  // cache writes are best-effort
-    uint64_t size = blob.data.size();
-    out.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
-    out.write(reinterpret_cast<const char*>(&now_unix), sizeof(now_unix));
-    out.write(reinterpret_cast<const char*>(&blob.version), sizeof(blob.version));
-    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
-    out.write(reinterpret_cast<const char*>(blob.data.data()),
-              static_cast<std::streamsize>(blob.data.size()));
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(frame.size()));
   }
   std::error_code ec;
   std::filesystem::rename(tmp, PathFor(key), ec);  // atomic replace
@@ -59,23 +89,29 @@ void DiskCache::Put(const std::string& key, const VersionedBlob& blob, int64_t n
 
 std::optional<VersionedBlob> DiskCache::Get(const std::string& key, int64_t now_unix) const {
   if (now_unix < 0) now_unix = NowUnix();
+  if (faults::InjectError("disk/read")) return std::nullopt;
   std::ifstream in(PathFor(key), std::ios::binary);
   if (!in) return std::nullopt;
+  std::vector<uint8_t> frame((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  faults::InjectMutation("disk/read", frame);
+
+  size_t pos = 0;
   uint64_t magic = 0;
   int64_t stamp = 0;
   VersionedBlob blob;
   uint64_t size = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&stamp), sizeof(stamp));
-  in.read(reinterpret_cast<char*>(&blob.version), sizeof(blob.version));
-  in.read(reinterpret_cast<char*>(&size), sizeof(size));
-  if (!in || magic != kMagic) return std::nullopt;
+  if (!ReadPod(frame, pos, magic) || magic != kMagic) return std::nullopt;
+  if (!ReadPod(frame, pos, stamp)) return std::nullopt;
+  if (!ReadPod(frame, pos, blob.version)) return std::nullopt;
+  if (!ReadPod(frame, pos, blob.crc)) return std::nullopt;
+  if (!ReadPod(frame, pos, size)) return std::nullopt;
   if (expiry_seconds_ >= 0 && now_unix - stamp > expiry_seconds_) {
     return std::nullopt;  // expired: the paper's client ignores stale disk data
   }
-  blob.data.resize(size);
-  in.read(reinterpret_cast<char*>(blob.data.data()), static_cast<std::streamsize>(size));
-  if (!in) return std::nullopt;
+  if (frame.size() - pos != size) return std::nullopt;  // torn or padded frame
+  blob.data.assign(frame.begin() + static_cast<ptrdiff_t>(pos), frame.end());
+  if (Crc32(blob.data) != blob.crc) return std::nullopt;  // bit rot
   return blob;
 }
 

@@ -25,8 +25,9 @@ class DiskCache {
   // (defaults to wall-clock when < 0).
   void Put(const std::string& key, const VersionedBlob& blob, int64_t now_unix = -1);
 
-  // Reads a blob back; nullopt if absent, corrupt, or expired relative to
-  // `now_unix`.
+  // Reads a blob back; nullopt if absent, expired relative to `now_unix`, or
+  // corrupt — a bad magic, a frame shorter or longer than its length field
+  // (torn write), or a payload CRC mismatch (bit rot) all reject the entry.
   std::optional<VersionedBlob> Get(const std::string& key, int64_t now_unix = -1) const;
 
   void Remove(const std::string& key);

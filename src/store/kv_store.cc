@@ -4,7 +4,12 @@
 #include <cmath>
 #include <thread>
 
+#include "src/common/crc32.h"
+#include "src/common/faults.h"
+
 namespace rc::store {
+
+bool VerifyBlob(const VersionedBlob& blob) { return Crc32(blob.data) == blob.crc; }
 
 double LatencyProfile::SampleUs(Rng& rng) const {
   // Lognormal with the requested median; sigma solved from the P99 ratio
@@ -29,7 +34,9 @@ void KvStore::MaybeSleep() const {
 }
 
 uint64_t KvStore::Put(const std::string& key, std::vector<uint8_t> data) {
+  faults::InjectLatency("kv/put");
   MaybeSleep();
+  if (faults::InjectError("kv/put")) return 0;  // injected I/O error: write lost
   VersionedBlob blob;
   std::vector<std::shared_ptr<ListenerEntry>> to_notify;
   {
@@ -38,6 +45,11 @@ uint64_t KvStore::Put(const std::string& key, std::vector<uint8_t> data) {
     VersionedBlob& entry = blobs_[key];
     entry.version += 1;
     entry.data = std::move(data);
+    entry.crc = Crc32(entry.data);
+    // Corrupt-at-rest / torn-write injection happens after the CRC stamp, so
+    // readers see a blob whose checksum no longer matches its payload —
+    // exactly what a real partial or bit-flipped write looks like.
+    faults::InjectMutation("kv/put", entry.data);
     blob = entry;
     to_notify.reserve(listeners_.size());
     for (const auto& [id, listener] : listeners_) {
@@ -56,13 +68,29 @@ uint64_t KvStore::Put(const std::string& key, std::vector<uint8_t> data) {
   return blob.version;
 }
 
-std::optional<VersionedBlob> KvStore::Get(const std::string& key) const {
+KvStore::GetResult KvStore::TryGet(const std::string& key) const {
+  faults::InjectLatency("kv/get");
   MaybeSleep();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!available_) return std::nullopt;
-  auto it = blobs_.find(key);
-  if (it == blobs_.end()) return std::nullopt;
-  return it->second;
+  if (faults::InjectError("kv/get")) return {GetStatus::kError, {}};
+  GetResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!available_) return {GetStatus::kUnavailable, {}};
+    auto it = blobs_.find(key);
+    if (it == blobs_.end()) return {GetStatus::kNotFound, {}};
+    result.status = GetStatus::kOk;
+    result.blob = it->second;
+  }
+  // Corrupt-on-read injection mutates only this caller's copy; the stored
+  // blob (and its CRC) stay intact, so the next read may succeed.
+  faults::InjectMutation("kv/get", result.blob.data);
+  return result;
+}
+
+std::optional<VersionedBlob> KvStore::Get(const std::string& key) const {
+  GetResult result = TryGet(key);
+  if (!result.ok()) return std::nullopt;
+  return std::move(result.blob);
 }
 
 std::optional<uint64_t> KvStore::GetVersion(const std::string& key) const {

@@ -33,7 +33,14 @@ struct LatencyProfile {
 struct VersionedBlob {
   uint64_t version = 0;
   std::vector<uint8_t> data;
+  // CRC32 over `data`, stamped by KvStore::Put / DiskCache at write time.
+  // Consumers verify with VerifyBlob before decoding; a mismatch means the
+  // payload was corrupted or torn somewhere between publish and load.
+  uint32_t crc = 0;
 };
+
+// Recomputes the payload checksum; true iff it matches the stamped CRC.
+bool VerifyBlob(const VersionedBlob& blob);
 
 class KvStore {
  public:
@@ -50,6 +57,24 @@ class KvStore {
   // 0 if the store is unavailable (the write is dropped and listeners are
   // not notified — an outage affects writes like it affects reads).
   uint64_t Put(const std::string& key, std::vector<uint8_t> data);
+
+  // Read outcome, so callers can react differently to "the key is absent"
+  // (authoritative miss) versus "the store could not answer" (outage or
+  // injected I/O error — retry / fall back to a local mirror).
+  enum class GetStatus { kOk, kNotFound, kUnavailable, kError };
+  struct GetResult {
+    GetStatus status = GetStatus::kNotFound;
+    VersionedBlob blob;
+
+    bool ok() const { return status == GetStatus::kOk; }
+    // A failure the caller may retry or degrade around, as opposed to a miss.
+    bool failed() const {
+      return status == GetStatus::kUnavailable || status == GetStatus::kError;
+    }
+  };
+
+  // Latest blob for key, with an explicit status.
+  GetResult TryGet(const std::string& key) const;
 
   // Latest blob for key; nullopt if absent or the store is unavailable.
   std::optional<VersionedBlob> Get(const std::string& key) const;

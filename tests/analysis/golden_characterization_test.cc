@@ -1,0 +1,89 @@
+// Golden-value regression tests for the Section 3 characterization figures.
+// Unlike characterization_test.cc, which asserts the qualitative shapes the
+// paper reports, these pin the exact numbers produced from one fixed trace
+// seed. The workload generator and every analysis routine are deterministic
+// (seeded xoshiro RNG, no wall-clock), so any drift here means a behavioural
+// change to the generator or the analyses — intentional changes must update
+// the goldens consciously.
+#include <gtest/gtest.h>
+
+#include "src/analysis/characterization.h"
+#include "src/trace/workload_model.h"
+
+namespace rc::analysis {
+namespace {
+
+using rc::trace::Trace;
+using rc::trace::VmRecord;
+using rc::trace::WorkloadConfig;
+using rc::trace::WorkloadModel;
+
+// Smaller than the shape-test trace to keep runtime down; the values are
+// pinned to this exact configuration.
+const Trace& GoldenTrace() {
+  static const Trace* trace = [] {
+    WorkloadConfig config;
+    config.target_vm_count = 8000;
+    config.num_subscriptions = 500;
+    config.seed = 4242;
+    return new Trace(WorkloadModel(config).Generate());
+  }();
+  return *trace;
+}
+
+// CDF evaluations are counts/n on a deterministic trace; the tolerance only
+// absorbs libm differences that could nudge a borderline sample across a
+// boundary, not real drift.
+constexpr double kTol = 0.015;
+
+TEST(GoldenCharacterizationTest, TraceShapeIsPinned) {
+  const Trace& t = GoldenTrace();
+  EXPECT_EQ(t.vm_count(), 8000u);
+  EXPECT_EQ(t.subscriptions().size(), 500u);
+}
+
+TEST(GoldenCharacterizationTest, UtilizationCdfFig1) {
+  auto cdfs = BuildUtilizationCdfs(GoldenTrace(), PartyFilter::kAll);
+  EXPECT_NEAR(cdfs.avg.Eval(0.10), 0.427875, kTol);
+  EXPECT_NEAR(cdfs.avg.Eval(0.20), 0.641875, kTol);
+  EXPECT_NEAR(cdfs.avg.Eval(0.50), 0.913500, kTol);
+  EXPECT_NEAR(cdfs.p95_max.Eval(0.50), 0.470125, kTol);
+  EXPECT_NEAR(cdfs.p95_max.Eval(0.90), 0.841625, kTol);
+}
+
+TEST(GoldenCharacterizationTest, LifetimeCdfFig5) {
+  auto cdf = LifetimeCdf(GoldenTrace(), PartyFilter::kAll);
+  EXPECT_NEAR(cdf.Eval(static_cast<double>(15 * kMinute)), 0.356872, kTol);
+  EXPECT_NEAR(cdf.Eval(static_cast<double>(kHour)), 0.631739, kTol);
+  EXPECT_NEAR(cdf.Eval(static_cast<double>(kDay)), 0.940521, kTol);
+}
+
+TEST(GoldenCharacterizationTest, DeploymentSizeCdfFig4) {
+  auto cdf = DeploymentSizeCdf(GoldenTrace(), PartyFilter::kAll);
+  EXPECT_NEAR(cdf.Eval(1.0), 0.511310, kTol);
+  EXPECT_NEAR(cdf.Eval(10.0), 0.958969, kTol);
+  EXPECT_NEAR(cdf.Eval(100.0), 1.000000, kTol);
+}
+
+TEST(GoldenCharacterizationTest, CoreHoursByClassFig6) {
+  auto split = CoreHoursByClass(GoldenTrace(), PartyFilter::kAll, /*use_fft=*/false);
+  ASSERT_GT(split.total(), 0.0);
+  EXPECT_NEAR(split.delay_insensitive / split.total(), 0.650662, kTol);
+  EXPECT_NEAR(split.interactive / split.total(), 0.185652, kTol);
+}
+
+TEST(GoldenCharacterizationTest, SubscriptionCovSection32) {
+  const Trace& t = GoldenTrace();
+  auto avg_covs = SubscriptionCoVs(t, [](const VmRecord& vm) { return vm.avg_cpu; });
+  EXPECT_NEAR(FractionBelow(avg_covs, 1.0), 0.777778, kTol);
+  auto lifetime_covs = SubscriptionCoVs(
+      t, [](const VmRecord& vm) { return static_cast<double>(vm.lifetime()); });
+  EXPECT_NEAR(FractionBelow(lifetime_covs, 1.0), 0.611111, kTol);
+}
+
+TEST(GoldenCharacterizationTest, SingleTypeSubscriptionsSection31) {
+  EXPECT_NEAR(SingleTypeSubscriptionFraction(GoldenTrace()), 0.956284, kTol);
+}
+
+}  // namespace
+}  // namespace rc::analysis

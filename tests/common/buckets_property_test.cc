@@ -1,0 +1,111 @@
+// Property-based tests for the Table 3 bucketization: the buckets must
+// partition each metric's domain (every value maps to exactly one in-range
+// bucket), be monotone in the underlying value, and agree with the
+// BucketRange inverses the client uses to turn predictions back into numbers.
+#include "src/common/buckets.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/sim_time.h"
+
+namespace rc {
+namespace {
+
+TEST(BucketsPropertyTest, UtilizationBucketPartitionsAndIsMonotone) {
+  Rng rng(31);
+  int prev = 0;
+  for (int i = 0; i <= 1000; ++i) {
+    double u = static_cast<double>(i) / 1000.0;
+    int b = UtilizationBucket(u);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, NumBuckets(Metric::kAvgCpu));
+    ASSERT_GE(b, prev) << "bucket decreased at u=" << u;
+    prev = b;
+  }
+  // Random draws also stay in range (including values beyond the nominal
+  // domain, which real traces do produce via measurement noise).
+  for (int i = 0; i < 500; ++i) {
+    double u = -0.5 + 2.0 * rng.NextDouble();
+    int b = UtilizationBucket(u);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, 4);
+  }
+}
+
+TEST(BucketsPropertyTest, UtilizationBucketMatchesItsRange) {
+  // For every utilization in (0,1], the value must lie inside the range
+  // reported for its own bucket — the round-trip the client relies on.
+  for (int i = 1; i <= 1000; ++i) {
+    double u = static_cast<double>(i) / 1000.0;
+    int b = UtilizationBucket(u);
+    BucketRange range = UtilizationBucketRange(b);
+    ASSERT_GE(u, range.lo) << "u=" << u << " below its bucket " << b;
+    ASSERT_LE(u, range.hi) << "u=" << u << " above its bucket " << b;
+  }
+}
+
+TEST(BucketsPropertyTest, UtilizationRangesTileTheUnitInterval) {
+  BucketRange prev = UtilizationBucketRange(0);
+  EXPECT_DOUBLE_EQ(prev.lo, 0.0);
+  for (int b = 1; b < 4; ++b) {
+    BucketRange r = UtilizationBucketRange(b);
+    ASSERT_DOUBLE_EQ(r.lo, prev.hi) << "gap or overlap between buckets";
+    ASSERT_LT(r.lo, r.hi);
+    prev = r;
+  }
+  EXPECT_DOUBLE_EQ(prev.hi, 1.0);
+}
+
+TEST(BucketsPropertyTest, DeploymentSizeBucketPartitionsAndIsMonotone) {
+  int prev = 0;
+  for (int64_t size = 1; size <= 2000; ++size) {
+    int b = DeploymentSizeBucket(size);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, NumBuckets(Metric::kDeployVms));
+    ASSERT_GE(b, prev) << "bucket decreased at size=" << size;
+    prev = b;
+  }
+  // Table 3 boundary cases: {1} (1,10] (10,100] (100, inf).
+  EXPECT_EQ(DeploymentSizeBucket(1), 0);
+  EXPECT_EQ(DeploymentSizeBucket(2), 1);
+  EXPECT_EQ(DeploymentSizeBucket(10), 1);
+  EXPECT_EQ(DeploymentSizeBucket(11), 2);
+  EXPECT_EQ(DeploymentSizeBucket(100), 2);
+  EXPECT_EQ(DeploymentSizeBucket(101), 3);
+  EXPECT_EQ(DeploymentSizeBucket(1'000'000), 3);
+}
+
+TEST(BucketsPropertyTest, LifetimeBucketPartitionsAndIsMonotone) {
+  int prev = 0;
+  for (SimDuration t = 0; t <= 3 * kDay; t += 61) {
+    int b = LifetimeBucket(t);
+    ASSERT_GE(b, 0);
+    ASSERT_LT(b, NumBuckets(Metric::kLifetime));
+    ASSERT_GE(b, prev) << "bucket decreased at t=" << t;
+    prev = b;
+  }
+  // Table 3 boundaries: <=15 min, (15,60] min, (1,24] h, >24 h.
+  EXPECT_EQ(LifetimeBucket(15 * kMinute), 0);
+  EXPECT_EQ(LifetimeBucket(15 * kMinute + 1), 1);
+  EXPECT_EQ(LifetimeBucket(kHour), 1);
+  EXPECT_EQ(LifetimeBucket(kHour + 1), 2);
+  EXPECT_EQ(LifetimeBucket(24 * kHour), 2);
+  EXPECT_EQ(LifetimeBucket(24 * kHour + 1), 3);
+  EXPECT_EQ(LifetimeBucket(30 * kDay), 3);
+}
+
+TEST(BucketsPropertyTest, EveryMetricBucketHasADistinctLabel) {
+  for (Metric m : kAllMetrics) {
+    std::vector<std::string> labels;
+    for (int b = 0; b < NumBuckets(m); ++b) {
+      std::string label = BucketLabel(m, b);
+      ASSERT_FALSE(label.empty());
+      for (const auto& seen : labels) ASSERT_NE(label, seen);
+      labels.push_back(std::move(label));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rc

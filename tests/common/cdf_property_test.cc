@@ -1,0 +1,134 @@
+// Property-based tests for EmpiricalCdf: invariants that must hold for any
+// sample set, checked over many seeded random distributions rather than a
+// handful of hand-picked examples.
+#include "src/common/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rc {
+namespace {
+
+// A mix of shapes: uniform, lognormal-ish, heavy ties, tiny sets.
+std::vector<double> RandomSamples(Rng& rng, int shape) {
+  size_t n = 1 + static_cast<size_t>(rng.UniformInt(0, 200));
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double u = rng.NextDouble();
+    switch (shape % 4) {
+      case 0: samples.push_back(u); break;
+      case 1: samples.push_back(std::exp(4.0 * u - 2.0)); break;
+      case 2: samples.push_back(std::floor(u * 5.0)); break;  // heavy ties
+      default: samples.push_back(-50.0 + 100.0 * u); break;
+    }
+  }
+  return samples;
+}
+
+TEST(CdfPropertyTest, EvalIsMonotoneAndBounded) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    EmpiricalCdf cdf(RandomSamples(rng, trial));
+    double lo = cdf.min(), hi = cdf.max();
+    double prev = -1.0;
+    for (int i = -2; i <= 22; ++i) {
+      double x = lo + (hi - lo) * static_cast<double>(i) / 20.0;
+      double p = cdf.Eval(x);
+      ASSERT_GE(p, 0.0);
+      ASSERT_LE(p, 1.0);
+      ASSERT_GE(p, prev) << "CDF decreased at x=" << x << " (trial " << trial << ")";
+      prev = p;
+    }
+    EXPECT_EQ(cdf.Eval(lo - 1.0), 0.0);
+    EXPECT_EQ(cdf.Eval(hi), 1.0);
+  }
+}
+
+TEST(CdfPropertyTest, QuantileEvalGaloisInequalities) {
+  // For any q: Eval(Quantile(q)) >= q, and Quantile is the *smallest* sample
+  // achieving that, so Quantile(Eval(x)) <= x for any sample x.
+  Rng rng(2025);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> samples = RandomSamples(rng, trial);
+    EmpiricalCdf cdf(samples);
+    for (int i = 0; i <= 20; ++i) {
+      double q = static_cast<double>(i) / 20.0;
+      double v = cdf.Quantile(q);
+      ASSERT_GE(cdf.Eval(v), q) << "trial " << trial << " q=" << q;
+    }
+    for (double x : samples) {
+      ASSERT_LE(cdf.Quantile(cdf.Eval(x)), x) << "trial " << trial << " x=" << x;
+    }
+  }
+}
+
+TEST(CdfPropertyTest, QuantileIsMonotoneAndHitsExtremes) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 40; ++trial) {
+    EmpiricalCdf cdf(RandomSamples(rng, trial));
+    double prev = cdf.Quantile(0.0);
+    for (int i = 1; i <= 20; ++i) {
+      double v = cdf.Quantile(static_cast<double>(i) / 20.0);
+      ASSERT_GE(v, prev);
+      prev = v;
+    }
+    EXPECT_EQ(cdf.Quantile(1.0), cdf.max());
+    EXPECT_GE(cdf.Quantile(0.0), cdf.min());
+  }
+}
+
+TEST(CdfPropertyTest, EvalMatchesDirectCount) {
+  // Eval(x) must equal (#samples <= x) / n exactly.
+  Rng rng(2027);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> samples = RandomSamples(rng, trial);
+    EmpiricalCdf cdf(samples);
+    for (int i = 0; i < 10; ++i) {
+      double x = samples[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(samples.size()) - 1))];
+      double expected =
+          static_cast<double>(std::count_if(samples.begin(), samples.end(),
+                                            [&](double s) { return s <= x; })) /
+          static_cast<double>(samples.size());
+      ASSERT_DOUBLE_EQ(cdf.Eval(x), expected);
+    }
+  }
+}
+
+TEST(CdfPropertyTest, CurveIsNondecreasingInBothCoordinates) {
+  Rng rng(2028);
+  for (int trial = 0; trial < 20; ++trial) {
+    EmpiricalCdf cdf(RandomSamples(rng, trial));
+    auto curve = cdf.Curve(50);
+    ASSERT_FALSE(curve.empty());
+    for (size_t i = 1; i < curve.size(); ++i) {
+      ASSERT_GE(curve[i].first, curve[i - 1].first);
+      ASSERT_GE(curve[i].second, curve[i - 1].second);
+    }
+    EXPECT_GE(curve.front().second, 0.0);
+    EXPECT_LE(curve.back().second, 1.0 + 1e-12);
+  }
+}
+
+TEST(CdfPropertyTest, IncrementalAddMatchesBulkConstruction) {
+  Rng rng(2029);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> samples = RandomSamples(rng, trial);
+    EmpiricalCdf bulk(samples);
+    EmpiricalCdf incremental;
+    for (double s : samples) incremental.Add(s);
+    incremental.Finalize();
+    for (int i = 0; i <= 10; ++i) {
+      double q = static_cast<double>(i) / 10.0;
+      ASSERT_DOUBLE_EQ(incremental.Quantile(q), bulk.Quantile(q));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rc

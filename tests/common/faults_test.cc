@@ -1,0 +1,144 @@
+// The fault-injection substrate itself must be deterministic: every trigger
+// mode (always, one-shot, every-Nth, window, Bernoulli) is counted and
+// seeded, so a test that arms a spec twice sees the identical fire pattern.
+#include "src/common/faults.h"
+
+#include <gtest/gtest.h>
+
+namespace rc::faults {
+namespace {
+
+class FaultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Registry::Global().DisarmAll(); }
+  void TearDown() override { Registry::Global().DisarmAll(); }
+};
+
+TEST_F(FaultsTest, UnarmedSiteNeverFires) {
+  EXPECT_FALSE(Registry::Global().armed());
+  EXPECT_FALSE(InjectError("kv/get"));
+  std::vector<uint8_t> bytes{1, 2, 3};
+  EXPECT_FALSE(InjectMutation("kv/get", bytes));
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST_F(FaultsTest, DefaultSpecFiresOnEveryCall) {
+  ScopedFault fault("site", FaultSpec{});
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(InjectError("site"));
+  EXPECT_EQ(Registry::Global().calls("site"), 5u);
+  EXPECT_EQ(Registry::Global().fires("site"), 5u);
+}
+
+TEST_F(FaultsTest, OneShot) {
+  FaultSpec spec;
+  spec.max_fires = 1;
+  ScopedFault fault("site", spec);
+  EXPECT_TRUE(InjectError("site"));
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(InjectError("site"));
+  EXPECT_EQ(Registry::Global().fires("site"), 1u);
+}
+
+TEST_F(FaultsTest, EveryNth) {
+  FaultSpec spec;
+  spec.every_nth = 3;
+  ScopedFault fault("site", spec);
+  std::vector<bool> pattern;
+  for (int i = 0; i < 9; ++i) pattern.push_back(InjectError("site"));
+  EXPECT_EQ(pattern, (std::vector<bool>{true, false, false, true, false, false, true,
+                                        false, false}));
+}
+
+TEST_F(FaultsTest, OutageWindow) {
+  FaultSpec spec;
+  spec.skip_first = 2;
+  spec.max_fires = 3;
+  ScopedFault fault("site", spec);
+  std::vector<bool> pattern;
+  for (int i = 0; i < 8; ++i) pattern.push_back(InjectError("site"));
+  // Calls 2, 3, 4 fail; before and after the window the site is healthy.
+  EXPECT_EQ(pattern, (std::vector<bool>{false, false, true, true, true, false, false,
+                                        false}));
+}
+
+TEST_F(FaultsTest, BernoulliIsSeededAndReproducible) {
+  FaultSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 1234;
+  auto run = [&] {
+    Registry::Global().DisarmAll();
+    ScopedFault fault("site", spec);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 64; ++i) pattern.push_back(InjectError("site"));
+    return pattern;
+  };
+  std::vector<bool> first = run();
+  std::vector<bool> second = run();
+  EXPECT_EQ(first, second);
+  // Sanity: with p=0.5 over 64 calls, both outcomes must appear.
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(FaultsTest, KindMismatchDoesNotFire) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCorrupt;
+  ScopedFault fault("site", spec);
+  EXPECT_FALSE(InjectError("site"));  // armed kind is kCorrupt, not kError
+  std::vector<uint8_t> bytes{1, 2, 3, 4};
+  EXPECT_TRUE(InjectMutation("site", bytes));
+}
+
+TEST_F(FaultsTest, CorruptionIsDeterministicAndAlwaysChangesBytes) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kCorrupt;
+  spec.seed = 77;
+  std::vector<uint8_t> original(64, 0xAB);
+  auto corrupt_once = [&] {
+    Registry::Global().DisarmAll();
+    ScopedFault fault("site", spec);
+    std::vector<uint8_t> bytes = original;
+    EXPECT_TRUE(InjectMutation("site", bytes));
+    return bytes;
+  };
+  std::vector<uint8_t> first = corrupt_once();
+  std::vector<uint8_t> second = corrupt_once();
+  EXPECT_EQ(first, second);  // same seed, same flips
+  EXPECT_NE(first, original);
+}
+
+TEST_F(FaultsTest, TruncationShortensPayload) {
+  FaultSpec spec;
+  spec.kind = FaultKind::kTruncate;
+  spec.truncate_to = 3;
+  ScopedFault fault("site", spec);
+  std::vector<uint8_t> bytes{1, 2, 3, 4, 5};
+  EXPECT_TRUE(InjectMutation("site", bytes));
+  EXPECT_EQ(bytes, (std::vector<uint8_t>{1, 2, 3}));
+  // Already shorter than the target: no mutation reported.
+  std::vector<uint8_t> shorter{9};
+  EXPECT_FALSE(InjectMutation("site", shorter));
+  EXPECT_EQ(shorter, (std::vector<uint8_t>{9}));
+}
+
+TEST_F(FaultsTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault("site", FaultSpec{});
+    EXPECT_TRUE(Registry::Global().armed());
+  }
+  EXPECT_FALSE(Registry::Global().armed());
+  EXPECT_FALSE(InjectError("site"));
+}
+
+TEST_F(FaultsTest, RearmReplacesSpecWithoutLeakingArmCount) {
+  Registry::Global().Arm("site", FaultSpec{});
+  FaultSpec one_shot;
+  one_shot.max_fires = 1;
+  Registry::Global().Arm("site", one_shot);  // re-arm same site
+  EXPECT_TRUE(InjectError("site"));
+  EXPECT_FALSE(InjectError("site"));
+  Registry::Global().Disarm("site");
+  EXPECT_FALSE(Registry::Global().armed());
+}
+
+}  // namespace
+}  // namespace rc::faults

@@ -1,0 +1,126 @@
+// Property-based tests for Histogram / CategoricalHistogram: mass
+// conservation (bins + underflow + overflow == total), bin-edge geometry,
+// and fraction normalization, across many seeded random inputs.
+#include "src/common/histogram.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rc {
+namespace {
+
+TEST(HistogramPropertyTest, MassIsConserved) {
+  Rng rng(71);
+  for (int trial = 0; trial < 30; ++trial) {
+    double lo = -10.0 + 20.0 * rng.NextDouble();
+    double hi = lo + 0.5 + 20.0 * rng.NextDouble();
+    size_t bins = 1 + static_cast<size_t>(rng.UniformInt(0, 30));
+    Histogram h(lo, hi, bins);
+
+    uint64_t added = 0;
+    int n = 1 + static_cast<int>(rng.UniformInt(0, 500));
+    for (int i = 0; i < n; ++i) {
+      // Deliberately sample beyond [lo, hi) to exercise under/overflow.
+      double x = lo - 5.0 + (hi - lo + 10.0) * rng.NextDouble();
+      uint64_t w = 1 + static_cast<uint64_t>(rng.UniformInt(0, 4));
+      h.Add(x, w);
+      added += w;
+    }
+
+    uint64_t binned = 0;
+    for (size_t b = 0; b < h.bins(); ++b) binned += h.count(b);
+    ASSERT_EQ(binned + h.underflow() + h.overflow(), h.total());
+    ASSERT_EQ(h.total(), added);
+  }
+}
+
+TEST(HistogramPropertyTest, BinEdgesAreContiguousAndSpanTheRange) {
+  Rng rng(72);
+  for (int trial = 0; trial < 30; ++trial) {
+    double lo = -5.0 + 10.0 * rng.NextDouble();
+    double hi = lo + 0.1 + 10.0 * rng.NextDouble();
+    size_t bins = 1 + static_cast<size_t>(rng.UniformInt(0, 20));
+    Histogram h(lo, hi, bins);
+    ASSERT_DOUBLE_EQ(h.bin_lo(0), lo);
+    for (size_t b = 1; b < h.bins(); ++b) {
+      ASSERT_DOUBLE_EQ(h.bin_lo(b), h.bin_hi(b - 1)) << "edge gap at bin " << b;
+      ASSERT_LT(h.bin_lo(b), h.bin_hi(b));
+    }
+    ASSERT_NEAR(h.bin_hi(h.bins() - 1), hi, 1e-9 * std::abs(hi - lo));
+  }
+}
+
+TEST(HistogramPropertyTest, EverySampleLandsInItsOwnBin) {
+  Rng rng(73);
+  Histogram h(0.0, 1.0, 10);
+  for (int i = 0; i < 300; ++i) {
+    double x = rng.NextDouble();
+    uint64_t before_total = h.total();
+    h.Add(x);
+    ASSERT_EQ(h.total(), before_total + 1);
+    // Find the bin whose [lo, hi) range contains x; its count must be > 0.
+    bool found = false;
+    for (size_t b = 0; b < h.bins(); ++b) {
+      if (x >= h.bin_lo(b) && x < h.bin_hi(b)) {
+        ASSERT_GT(h.count(b), 0u);
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << "x=" << x << " not covered by any bin range";
+  }
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(HistogramPropertyTest, FractionsSumToOneWhenNoOutliers) {
+  Rng rng(74);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t bins = 1 + static_cast<size_t>(rng.UniformInt(0, 15));
+    Histogram h(0.0, 1.0, bins);
+    int n = 1 + static_cast<int>(rng.UniformInt(0, 200));
+    for (int i = 0; i < n; ++i) h.Add(rng.NextDouble());
+    double sum = 0.0;
+    for (size_t b = 0; b < h.bins(); ++b) sum += h.Fraction(b);
+    ASSERT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(HistogramPropertyTest, EmptyHistogramFractionsAreZero) {
+  Histogram h(0.0, 1.0, 5);
+  for (size_t b = 0; b < h.bins(); ++b) EXPECT_EQ(h.Fraction(b), 0.0);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(CategoricalHistogramPropertyTest, CountsAndFractionsAreConsistent) {
+  Rng rng(75);
+  const std::vector<std::string> keys = {"small", "medium", "large", "xlarge"};
+  for (int trial = 0; trial < 20; ++trial) {
+    CategoricalHistogram h;
+    std::map<std::string, double> expected;
+    double total = 0.0;
+    int n = 1 + static_cast<int>(rng.UniformInt(0, 200));
+    for (int i = 0; i < n; ++i) {
+      const std::string& key =
+          keys[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(keys.size()) - 1))];
+      double w = 0.1 + rng.NextDouble();
+      h.Add(key, w);
+      expected[key] += w;
+      total += w;
+    }
+    ASSERT_NEAR(h.total(), total, 1e-9);
+    double frac_sum = 0.0;
+    for (const auto& [key, want] : expected) {
+      ASSERT_NEAR(h.count(key), want, 1e-9);
+      frac_sum += h.Fraction(key);
+    }
+    ASSERT_NEAR(frac_sum, 1.0, 1e-9);
+    EXPECT_EQ(h.count("never_added"), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace rc

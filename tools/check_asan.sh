@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Builds the test binaries under AddressSanitizer + UndefinedBehaviorSanitizer
+# and runs them. Any report fails the script (halt_on_error below). The
+# corruption/fuzz suites in particular are only meaningful under ASan: they
+# assert that corrupt bytes are *rejected*, and ASan proves the reject paths
+# never read out of bounds while deciding.
+#
+# Usage: tools/check_asan.sh [extra gtest args...]
+#   e.g. tools/check_asan.sh --gtest_filter='BytesFuzzTest.*'
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${RC_ASAN_BUILD_DIR:-${REPO_ROOT}/build-asan}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DRC_SANITIZE=address
+cmake --build "${BUILD_DIR}" -j"$(nproc)" \
+  --target rc_common_tests rc_ml_tests rc_store_tests rc_core_tests
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+for t in rc_common_tests rc_ml_tests rc_store_tests rc_core_tests; do
+  echo "== ${t} (ASan+UBSan) =="
+  "${BUILD_DIR}/tests/${t}" "$@"
+done
+echo "ASan+UBSan check passed: no memory or UB reports."
