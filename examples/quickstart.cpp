@@ -9,10 +9,16 @@
 //      resource manager would (Table 2 API).
 //
 // Build: cmake --build build && ./build/examples/quickstart
+//
+// Set RC_METRICS_DUMP=1 to print the full Prometheus-style metrics
+// exposition (the client's private registry plus the process-global one) at
+// exit.
+#include <cstdlib>
 #include <iostream>
 
 #include "src/core/client.h"
 #include "src/core/offline_pipeline.h"
+#include "src/obs/export.h"
 #include "src/store/kv_store.h"
 #include "src/trace/workload_model.h"
 
@@ -88,5 +94,14 @@ int main() {
   std::cout << "\nclient stats: " << stats.model_executions << " model executions, "
             << stats.result_hits << " cache hits, " << stats.no_predictions
             << " no-predictions\n";
+
+  if (const char* dump = std::getenv("RC_METRICS_DUMP"); dump != nullptr && *dump != '0') {
+    // Client instruments live in the client's own registry; the store,
+    // pipeline, and scheduler default to the process-global one.
+    std::cout << "\n== metrics (client registry) ==\n"
+              << rc::obs::PrometheusText(client.metrics())
+              << "\n== metrics (global registry) ==\n"
+              << rc::obs::PrometheusText(rc::obs::MetricsRegistry::Global());
+  }
   return 0;
 }

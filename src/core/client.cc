@@ -8,6 +8,7 @@
 #include "src/common/crc32.h"
 #include "src/common/faults.h"
 #include "src/common/hashing.h"
+#include "src/obs/trace_events.h"
 
 namespace rc::core {
 
@@ -82,13 +83,56 @@ const SubscriptionFeatures* Client::ClientState::FindFeatures(
 
 Client::Client(rc::store::KvStore* store, ClientConfig config)
     : store_(store), config_(std::move(config)) {
+  if (config_.metrics != nullptr) {
+    metrics_ = config_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<rc::obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  RegisterInstruments();
   if (!config_.disk_cache_dir.empty()) {
     disk_ = std::make_unique<rc::store::DiskCache>(config_.disk_cache_dir,
-                                                   config_.disk_expiry_seconds);
+                                                   config_.disk_expiry_seconds, metrics_);
   }
   shard_capacity_ = std::max<size_t>(1, config_.result_cache_capacity / kResultCacheShards);
   master_state_ = std::make_shared<const ClientState>();
   snapshot_.store(master_state_);
+}
+
+void Client::RegisterInstruments() {
+  auto counter = [this](std::string_view name, std::string_view help) {
+    return &metrics_->GetCounter(name, config_.metric_labels, help);
+  };
+  m_.result_hits = counter("rc_client_result_hits", "result-cache hits");
+  m_.result_misses = counter("rc_client_result_misses", "result-cache misses");
+  m_.model_executions = counter("rc_client_model_executions", "model executions");
+  m_.store_fetches = counter("rc_client_store_fetches", "successful store reads");
+  m_.disk_hits = counter("rc_client_disk_hits", "disk-mirror fallback hits");
+  m_.no_predictions = counter("rc_client_no_predictions", "no-prediction answers");
+  m_.store_errors = counter("rc_client_store_errors", "failed store reads (pre-retry)");
+  m_.store_retries = counter("rc_client_store_retries", "store read retry attempts");
+  m_.corrupt_blobs = counter("rc_client_corrupt_blobs", "blobs rejected by checksum");
+  m_.decode_failures =
+      counter("rc_client_decode_failures", "valid-CRC blobs that failed decode");
+  m_.breaker_trips = counter("rc_client_breaker_trips", "circuit-breaker open transitions");
+  m_.reload_timeouts = counter("rc_client_reload_timeouts", "reloads cut short by deadline");
+  m_.degraded_reason = &metrics_->GetGauge(
+      "rc_client_degraded_reason", config_.metric_labels,
+      "current DegradedReason (0 none, 1 outage, 2 errors, 3 corrupt)");
+  m_.predict_latency_us = &metrics_->GetHistogram(
+      "rc_client_predict_latency_us", rc::obs::HistogramOptions{}, config_.metric_labels,
+      "sampled PredictSingle latency (us)");
+  m_.store_read_latency_us = &metrics_->GetHistogram(
+      "rc_client_store_read_latency_us", rc::obs::HistogramOptions{},
+      config_.metric_labels, "per-call store read latency incl. retries (us)");
+}
+
+bool Client::ShouldSampleLatency() const {
+  uint32_t every = config_.predict_latency_sample_every;
+  if (every == 0) return false;
+  if (every == 1) return true;
+  thread_local uint32_t calls = 0;
+  return ++calls % every == 0;
 }
 
 Client::~Client() {
@@ -138,6 +182,7 @@ bool Client::Initialize() {
 }
 
 void Client::PublishLocked(std::shared_ptr<ClientState> next) {
+  rc::obs::TraceSpan span("client/publish_state");
   master_state_ = StatePtr(std::move(next));
   snapshot_.store(master_state_);
 }
@@ -176,6 +221,7 @@ void Client::InvalidateResultCache() {
 
 void Client::SetDegraded(DegradedReason reason) {
   degraded_reason_.store(static_cast<uint8_t>(reason), std::memory_order_relaxed);
+  m_.degraded_reason->Set(static_cast<double>(static_cast<uint8_t>(reason)));
 }
 
 bool Client::BreakerOpenLocked() {
@@ -195,7 +241,7 @@ void Client::BreakerFailureLocked() {
     breaker_open_ = true;
     breaker_open_until_ = std::chrono::steady_clock::now() +
                           std::chrono::microseconds(config_.breaker_open_us);
-    stats_.breaker_trips.fetch_add(1, kRelaxed);
+    m_.breaker_trips->Increment();
   }
 }
 
@@ -214,6 +260,8 @@ void Client::BreakerSuccessLocked() {
 Client::StoreRead Client::StoreReadLocked(const std::string& key, VersionedBlob& out) {
   if (store_ == nullptr) return StoreRead::kFailed;
   if (BreakerOpenLocked()) return StoreRead::kFailed;  // don't hammer a failing store
+  rc::obs::TraceSpan span("client/store_read");
+  rc::obs::ScopedTimer timer(m_.store_read_latency_us);
   int64_t backoff_us = std::max<int64_t>(1, config_.store_retry_backoff_us);
   for (int attempt = 0;; ++attempt) {
     KvStore::GetResult result = faults::InjectError("client/store_read")
@@ -222,7 +270,7 @@ Client::StoreRead Client::StoreReadLocked(const std::string& key, VersionedBlob&
     switch (result.status) {
       case KvStore::GetStatus::kOk:
         BreakerSuccessLocked();
-        stats_.store_fetches.fetch_add(1, kRelaxed);
+        m_.store_fetches->Increment();
         out = std::move(result.blob);
         return StoreRead::kHit;
       case KvStore::GetStatus::kNotFound:
@@ -235,13 +283,13 @@ Client::StoreRead Client::StoreReadLocked(const std::string& key, VersionedBlob&
         BreakerFailureLocked();
         return StoreRead::kFailed;
       case KvStore::GetStatus::kError:
-        stats_.store_errors.fetch_add(1, kRelaxed);
+        m_.store_errors->Increment();
         SetDegraded(DegradedReason::kStoreErrors);
         if (attempt >= config_.store_max_retries) {
           BreakerFailureLocked();
           return StoreRead::kFailed;
         }
-        stats_.store_retries.fetch_add(1, kRelaxed);
+        m_.store_retries->Increment();
         std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
         backoff_us *= 2;
         break;
@@ -259,7 +307,7 @@ void Client::LoadAllFromStoreLocked(ClientState& state) {
   for (const std::string& key : store_->ListKeys("")) {
     if (std::chrono::steady_clock::now() > deadline) {
       // Out of budget: stop fetching and serve what we have.
-      stats_.reload_timeouts.fetch_add(1, kRelaxed);
+      m_.reload_timeouts->Increment();
       SetDegraded(DegradedReason::kStoreErrors);
       clean = false;
       break;
@@ -284,12 +332,12 @@ void Client::LoadAllFromDiskLocked(ClientState& state) {
   try {
     keys = DeserializeKeys(index->data);
   } catch (const std::exception&) {
-    stats_.decode_failures.fetch_add(1, kRelaxed);
+    m_.decode_failures->Increment();
     return;  // corrupt index: nothing to restore
   }
   for (const std::string& key : keys) {
     if (auto blob = disk_->Get(key)) {
-      stats_.disk_hits.fetch_add(1, kRelaxed);
+      m_.disk_hits->Increment();
       IngestLocked(state, key, *blob);
     }
   }
@@ -301,11 +349,16 @@ Client::IngestResult Client::IngestLocked(ClientState& state, const std::string&
   // Reject-and-fallback: a corrupt blob must never replace good state. The
   // checksum catches transport/at-rest corruption; the decode try-block
   // catches structurally invalid payloads that happen to carry a valid CRC.
-  if (!rc::store::VerifyBlob(blob)) {
-    stats_.corrupt_blobs.fetch_add(1, kRelaxed);
-    SetDegraded(DegradedReason::kCorruptData);
-    return result;
+  {
+    rc::obs::TraceSpan verify_span("client/crc_verify");
+    if (!rc::store::VerifyBlob(blob)) {
+      m_.corrupt_blobs->Increment();
+      SetDegraded(DegradedReason::kCorruptData);
+      return result;
+    }
   }
+  std::optional<rc::obs::TraceSpan> decode_span;
+  decode_span.emplace("client/decode");
   uint64_t subscription_id = 0;
   try {
     if (key.rfind(kModelKeyPrefix, 0) == 0) {
@@ -339,10 +392,11 @@ Client::IngestResult Client::IngestLocked(ClientState& state, const std::string&
       return result;  // unknown key family
     }
   } catch (const std::exception&) {
-    stats_.decode_failures.fetch_add(1, kRelaxed);
+    m_.decode_failures->Increment();
     SetDegraded(DegradedReason::kCorruptData);
     return result;
   }
+  decode_span.reset();
   result.ok = true;
   // A clean ingest ends a corrupt-data degradation window.
   if (degraded_reason_.load(std::memory_order_relaxed) ==
@@ -383,7 +437,7 @@ std::optional<VersionedBlob> Client::FetchLocked(const std::string& key, bool al
   // Store down (or absent): the disk cache is the fallback.
   if (disk_ != nullptr) {
     if (auto blob = disk_->Get(key)) {
-      stats_.disk_hits.fetch_add(1, kRelaxed);
+      m_.disk_hits->Increment();
       return blob;
     }
   }
@@ -430,25 +484,49 @@ Prediction Client::Execute(const ClientState& state, const LoadedModel& entry,
   SubscriptionFeatures empty;
   if (history == nullptr) {
     if (!config_.allow_missing_feature_data) {
-      stats_.no_predictions.fetch_add(1, kRelaxed);
+      m_.no_predictions->Increment();
       return Prediction::None();
     }
     empty.subscription_id = inputs.subscription_id;
     history = &empty;
   }
-  std::vector<double> row = entry.featurizer->Encode(inputs, *history);
-  stats_.model_executions.fetch_add(1, kRelaxed);
+  std::vector<double> row;
+  {
+    rc::obs::TraceSpan featurize_span("client/featurize");
+    row = entry.featurizer->Encode(inputs, *history);
+  }
+  m_.model_executions->Increment();
+  rc::obs::TraceSpan execute_span("client/execute");
   auto scored = entry.model->PredictScored(row);
   return Prediction::Of(scored.label, scored.score);
 }
 
 Prediction Client::PredictSingle(const std::string& model_name, const ClientInputs& inputs) {
-  uint64_t key = inputs.CacheKey(model_name);
-  if (auto cached = ResultCacheLookup(key)) {
-    stats_.result_hits.fetch_add(1, kRelaxed);
-    return *cached;
+  // Sampled timing (config_.predict_latency_sample_every) keeps the two
+  // clock reads off most calls; everything else on this path is relaxed
+  // shard increments — no mutex beyond the result-cache shard lock.
+  rc::obs::TraceSpan span("client/predict");
+  const bool timed = ShouldSampleLatency();
+  const uint64_t start_ns = timed ? rc::obs::NowNs() : 0;
+  Prediction prediction = PredictSingleImpl(model_name, inputs);
+  if (timed) {
+    m_.predict_latency_us->Record(static_cast<double>(rc::obs::NowNs() - start_ns) /
+                                  1000.0);
   }
-  stats_.result_misses.fetch_add(1, kRelaxed);
+  return prediction;
+}
+
+Prediction Client::PredictSingleImpl(const std::string& model_name,
+                                     const ClientInputs& inputs) {
+  uint64_t key = inputs.CacheKey(model_name);
+  {
+    rc::obs::TraceSpan cache_span("client/result_cache");
+    if (auto cached = ResultCacheLookup(key)) {
+      m_.result_hits->Increment();
+      return *cached;
+    }
+  }
+  m_.result_misses->Increment();
 
   // Order matters: reading the epoch before the snapshot means a concurrent
   // publish+invalidate is always detected at insert time.
@@ -487,13 +565,13 @@ Prediction Client::PredictMiss(const std::string& model_name, const ClientInputs
         LoadModelLocked(*next, model_name, /*allow_store=*/true);
         LoadFeaturesLocked(*next, inputs.subscription_id, /*allow_store=*/true);
         PublishLocked(std::move(next));
-        stats_.no_predictions.fetch_add(1, kRelaxed);
+        m_.no_predictions->Increment();
         return Prediction::None();
       }
       bool model_ready = LoadModelLocked(*next, model_name, /*allow_store=*/pull);
       if (!model_ready) {
         PublishLocked(std::move(next));  // keep any partial artifacts (e.g. spec)
-        stats_.no_predictions.fetch_add(1, kRelaxed);
+        m_.no_predictions->Increment();
         return Prediction::None();
       }
       LoadFeaturesLocked(*next, inputs.subscription_id, /*allow_store=*/pull);
@@ -505,7 +583,7 @@ Prediction Client::PredictMiss(const std::string& model_name, const ClientInputs
   }
   const LoadedModel* model = state->FindReadyModel(model_name);
   if (model == nullptr) {
-    stats_.no_predictions.fetch_add(1, kRelaxed);
+    m_.no_predictions->Increment();
     return Prediction::None();
   }
   Prediction prediction = Execute(*state, *model, inputs);
@@ -553,18 +631,18 @@ void Client::FlushCache() {
 
 ClientStats Client::stats() const {
   ClientStats out;
-  out.result_hits = stats_.result_hits.load(kRelaxed);
-  out.result_misses = stats_.result_misses.load(kRelaxed);
-  out.model_executions = stats_.model_executions.load(kRelaxed);
-  out.store_fetches = stats_.store_fetches.load(kRelaxed);
-  out.disk_hits = stats_.disk_hits.load(kRelaxed);
-  out.no_predictions = stats_.no_predictions.load(kRelaxed);
-  out.store_errors = stats_.store_errors.load(kRelaxed);
-  out.store_retries = stats_.store_retries.load(kRelaxed);
-  out.corrupt_blobs = stats_.corrupt_blobs.load(kRelaxed);
-  out.decode_failures = stats_.decode_failures.load(kRelaxed);
-  out.breaker_trips = stats_.breaker_trips.load(kRelaxed);
-  out.reload_timeouts = stats_.reload_timeouts.load(kRelaxed);
+  out.result_hits = m_.result_hits->Value();
+  out.result_misses = m_.result_misses->Value();
+  out.model_executions = m_.model_executions->Value();
+  out.store_fetches = m_.store_fetches->Value();
+  out.disk_hits = m_.disk_hits->Value();
+  out.no_predictions = m_.no_predictions->Value();
+  out.store_errors = m_.store_errors->Value();
+  out.store_retries = m_.store_retries->Value();
+  out.corrupt_blobs = m_.corrupt_blobs->Value();
+  out.decode_failures = m_.decode_failures->Value();
+  out.breaker_trips = m_.breaker_trips->Value();
+  out.reload_timeouts = m_.reload_timeouts->Value();
   out.degraded_reason =
       static_cast<DegradedReason>(degraded_reason_.load(std::memory_order_relaxed));
   return out;

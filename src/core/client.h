@@ -45,6 +45,7 @@
 #include "src/core/model_spec.h"
 #include "src/core/prediction.h"
 #include "src/ml/classifier.h"
+#include "src/obs/metrics.h"
 #include "src/store/disk_cache.h"
 #include "src/store/kv_store.h"
 
@@ -83,6 +84,21 @@ struct ClientConfig {
   // through (half-open). <= 0 disables the breaker.
   int breaker_failure_threshold = 5;
   int64_t breaker_open_us = 100'000;
+
+  // --- observability (DESIGN.md "Observability") ---
+  // Registry receiving this client's `rc_client_*` instruments. Null (the
+  // default) gives the client a private registry, so per-instance stats()
+  // keeps its exact per-client semantics; point several clients at a shared
+  // registry (e.g. obs::MetricsRegistry::Global()) to aggregate them —
+  // get-or-create then merges same-named instruments.
+  rc::obs::MetricsRegistry* metrics = nullptr;
+  // Label set stamped on every instrument this client registers (lets
+  // multiple clients share a registry without merging, e.g. {"client","a"}).
+  rc::obs::Labels metric_labels;
+  // Record PredictSingle latency into rc_client_predict_latency_us once per
+  // N calls (per thread). Sampling keeps the two clock reads off most
+  // hot-path calls; 1 times every call, 0 disables timing entirely.
+  uint32_t predict_latency_sample_every = 64;
 };
 
 // Why the client is currently serving from stale/partial state. kNone means
@@ -146,7 +162,13 @@ class Client {
   // Drops memory and disk caches.
   void FlushCache();
 
+  // Compatibility view over the registry-backed instruments below. With the
+  // default private registry this is exactly this client's activity.
   ClientStats stats() const;
+
+  // The registry holding this client's instruments — the config-supplied one
+  // or the private default. Export with obs::PrometheusText / obs::JsonText.
+  rc::obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
   struct LoadedModel {
@@ -199,21 +221,29 @@ class Client {
     std::unordered_map<uint64_t, Prediction> map;
   };
 
-  // Relaxed atomics so the hot path and stats() need no lock.
-  struct StatsCounters {
-    std::atomic<uint64_t> result_hits{0};
-    std::atomic<uint64_t> result_misses{0};
-    std::atomic<uint64_t> model_executions{0};
-    std::atomic<uint64_t> store_fetches{0};
-    std::atomic<uint64_t> disk_hits{0};
-    std::atomic<uint64_t> no_predictions{0};
-    std::atomic<uint64_t> store_errors{0};
-    std::atomic<uint64_t> store_retries{0};
-    std::atomic<uint64_t> corrupt_blobs{0};
-    std::atomic<uint64_t> decode_failures{0};
-    std::atomic<uint64_t> breaker_trips{0};
-    std::atomic<uint64_t> reload_timeouts{0};
+  // Registry-backed instruments (rc_client_* family). Pointers are resolved
+  // once at construction and stable for the registry's lifetime; every write
+  // is a relaxed shard increment, so the hot path and stats() need no lock.
+  struct Instruments {
+    rc::obs::Counter* result_hits;
+    rc::obs::Counter* result_misses;
+    rc::obs::Counter* model_executions;
+    rc::obs::Counter* store_fetches;
+    rc::obs::Counter* disk_hits;
+    rc::obs::Counter* no_predictions;
+    rc::obs::Counter* store_errors;
+    rc::obs::Counter* store_retries;
+    rc::obs::Counter* corrupt_blobs;
+    rc::obs::Counter* decode_failures;
+    rc::obs::Counter* breaker_trips;
+    rc::obs::Counter* reload_timeouts;
+    rc::obs::Gauge* degraded_reason;            // numeric DegradedReason
+    rc::obs::Histogram* predict_latency_us;     // sampled PredictSingle latency
+    rc::obs::Histogram* store_read_latency_us;  // per-attempt store reads
   };
+  void RegisterInstruments();
+  // True once per config_.predict_latency_sample_every calls on this thread.
+  bool ShouldSampleLatency() const;
 
   // --- contention-free read side ---
   StatePtr LoadState() const { return snapshot_.load(); }
@@ -255,6 +285,9 @@ class Client {
   void LoadAllFromStoreLocked(ClientState& state);
   void LoadAllFromDiskLocked(ClientState& state);
   void PersistIndexLocked();
+  // PredictSingle body, separated so the public entry can wrap it with the
+  // sampled latency measurement.
+  Prediction PredictSingleImpl(const std::string& model_name, const ClientInputs& inputs);
   // Slow path: a model or feature record was missing from the snapshot.
   Prediction PredictMiss(const std::string& model_name, const ClientInputs& inputs,
                          uint64_t cache_key, uint64_t epoch);
@@ -285,10 +318,13 @@ class Client {
   bool breaker_open_ = false;
   std::chrono::steady_clock::time_point breaker_open_until_{};
 
-  // Current degradation reason, readable from stats() without a lock.
+  // Current degradation reason, readable from stats() without a lock
+  // (mirrored into the rc_client_degraded_reason gauge).
   std::atomic<uint8_t> degraded_reason_{0};
 
-  mutable StatsCounters stats_;
+  std::unique_ptr<rc::obs::MetricsRegistry> owned_metrics_;  // when config has none
+  rc::obs::MetricsRegistry* metrics_ = nullptr;
+  Instruments m_{};
 };
 
 }  // namespace rc::core

@@ -8,8 +8,22 @@
 #include "src/analysis/periodicity.h"
 #include "src/common/faults.h"
 #include "src/common/sim_time.h"
+#include "src/obs/trace_events.h"
 
 namespace rc::core {
+
+namespace {
+
+// Stage-duration histogram shared by every pipeline stage; one label per
+// stage so exposition groups them into a single rc_pipeline family.
+rc::obs::Histogram& StageHistogram(rc::obs::MetricsRegistry* metrics, const char* stage) {
+  rc::obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : rc::obs::MetricsRegistry::Global();
+  return reg.GetHistogram("rc_pipeline_stage_duration_us", {}, {{"stage", stage}},
+                          "offline pipeline stage wall time (us)");
+}
+
+}  // namespace
 
 using rc::trace::Trace;
 using rc::trace::VmRecord;
@@ -245,11 +259,18 @@ rc::ml::Dataset OfflinePipeline::ToDataset(const std::vector<LabeledExample>& ex
 }
 
 TrainedModels OfflinePipeline::Run(const Trace& trace) const {
+  rc::obs::Histogram& build_hist = StageHistogram(config_.metrics, "build_examples");
+  rc::obs::Histogram& train_hist = StageHistogram(config_.metrics, "train");
   TrainedModels trained;
   for (Metric metric : kAllMetrics) {
-    std::vector<LabeledExample> examples = BuildExamples(
-        trace, metric, config_.train_begin, config_.train_end, config_.use_fft_labels);
+    std::vector<LabeledExample> examples;
+    {
+      rc::obs::ScopedTimer timer(&build_hist);
+      examples = BuildExamples(trace, metric, config_.train_begin, config_.train_end,
+                               config_.use_fft_labels);
+    }
     if (examples.empty()) continue;
+    rc::obs::ScopedTimer train_timer(&train_hist);
     Featurizer featurizer(metric, EncodingFor(metric));
     rc::ml::Dataset data = ToDataset(examples, featurizer);
     // Guarantee full label arity even if a rare bucket is absent from the
@@ -288,21 +309,37 @@ TrainedModels OfflinePipeline::Run(const Trace& trace) const {
     trained.specs[spec.name] = spec;
     trained.models[spec.name] = std::move(model);
   }
-  trained.feature_data =
-      BuildFeatureSnapshot(trace, config_.train_end, config_.use_fft_labels);
+  {
+    rc::obs::ScopedTimer timer(&StageHistogram(config_.metrics, "feature_snapshot"));
+    trained.feature_data =
+        BuildFeatureSnapshot(trace, config_.train_end, config_.use_fft_labels);
+  }
   return trained;
 }
 
-size_t OfflinePipeline::Publish(const TrainedModels& trained, rc::store::KvStore& store) {
+size_t OfflinePipeline::Publish(const TrainedModels& trained, rc::store::KvStore& store,
+                                rc::obs::MetricsRegistry* metrics) {
+  rc::obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : rc::obs::MetricsRegistry::Global();
+  rc::obs::Counter& records =
+      reg.GetCounter("rc_pipeline_published_records", {}, "records durably published");
+  rc::obs::Counter& failures = reg.GetCounter(
+      "rc_pipeline_publish_failures", {}, "records dropped after exhausting retries");
+  rc::obs::TraceSpan span("pipeline/publish");
+  rc::obs::ScopedTimer timer(&StageHistogram(metrics, "publish"));
   // Transient publish failures (outage blips, injected faults) are retried;
   // a record that still fails after kAttempts is skipped, not fatal — the
   // next pipeline run republishes everything anyway.
   constexpr int kAttempts = 3;
-  auto put = [&store](const std::string& key, const std::vector<uint8_t>& bytes) -> bool {
+  auto put = [&](const std::string& key, const std::vector<uint8_t>& bytes) -> bool {
     for (int attempt = 0; attempt < kAttempts; ++attempt) {
       if (rc::faults::InjectError("pipeline/publish")) continue;
-      if (store.Put(key, bytes) != 0) return true;
+      if (store.Put(key, bytes) != 0) {
+        records.Increment();
+        return true;
+      }
     }
+    failures.Increment();
     return false;
   };
   size_t published = 0;

@@ -26,6 +26,7 @@
 #include "src/ml/classifier.h"
 #include "src/ml/gbt.h"
 #include "src/ml/random_forest.h"
+#include "src/obs/metrics.h"
 #include "src/store/kv_store.h"
 #include "src/trace/trace.h"
 #include "src/trace/vm_size_catalog.h"
@@ -42,6 +43,9 @@ struct PipelineConfig {
   rc::ml::RandomForestConfig rf;  // utilization metrics
   rc::ml::GbtConfig gbt;          // deployment size, lifetime, class
   uint64_t seed = 17;
+  // Registry receiving the rc_pipeline_* stage-duration instruments;
+  // null = process-global.
+  rc::obs::MetricsRegistry* metrics = nullptr;
 };
 
 // One labeled example: creation-time inputs + history snapshot + outcome.
@@ -84,8 +88,10 @@ class OfflinePipeline {
   // Publishes models, specs, and feature data to the store. Failed writes
   // (store outage, injected publish faults) are retried a bounded number of
   // times; returns how many records were durably published so callers can
-  // detect a partial publication.
-  static size_t Publish(const TrainedModels& trained, rc::store::KvStore& store);
+  // detect a partial publication. `metrics` receives the publish counters and
+  // stage-duration sample (null = process-global).
+  static size_t Publish(const TrainedModels& trained, rc::store::KvStore& store,
+                        rc::obs::MetricsRegistry* metrics = nullptr);
 
   // Default model family per metric (Table 1): Random Forest for the two
   // utilization metrics, boosted trees for the rest.

@@ -1,0 +1,68 @@
+// rc::obs exporters: Prometheus-style text exposition, a JSON snapshot, and
+// a periodic file dumper for long-running benches / the simulator.
+//
+// Both exporters render a RegistrySnapshot, so they can be pointed at the
+// process-wide registry or any privately owned one (e.g. a Client's).
+// Output is deterministic for a given snapshot: series sorted by name, then
+// labels; doubles formatted with up to 10 significant digits.
+#ifndef RC_SRC_OBS_EXPORT_H_
+#define RC_SRC_OBS_EXPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace rc::obs {
+
+// Prometheus text exposition (# HELP / # TYPE, histograms as cumulative
+// `_bucket{le=...}` series plus `_sum` / `_count`).
+std::string PrometheusText(const RegistrySnapshot& snapshot);
+std::string PrometheusText(const MetricsRegistry& registry);
+
+// JSON snapshot: {"metrics": {"name{labels}": {...}, ...}}. Histograms carry
+// count/sum/mean and the p50/p95/p99/p999 extraction.
+std::string JsonText(const RegistrySnapshot& snapshot);
+std::string JsonText(const MetricsRegistry& registry);
+
+// Overwrites `path` with `text`; false on I/O failure.
+bool WriteTextFile(const std::string& path, const std::string& text);
+
+// Merges the registry's JSON snapshot into an existing JSON metrics file:
+// entries under "metrics" keep their old value unless this snapshot carries
+// the same series. An absent or unparseable file is simply overwritten.
+// Lets several bench binaries accumulate into one BENCH_*.json.
+bool MergeJsonMetricsFile(const std::string& path, const MetricsRegistry& registry);
+
+// Background thread dumping a registry snapshot to a file on an interval
+// (and once more on Stop, so short runs still produce a final snapshot).
+class PeriodicDumper {
+ public:
+  enum class Format { kPrometheus, kJson };
+
+  PeriodicDumper(const MetricsRegistry& registry, std::string path, Format format,
+                 std::chrono::milliseconds interval);
+  ~PeriodicDumper();  // implies Stop()
+
+  void Stop();
+
+ private:
+  void DumpOnce();
+
+  const MetricsRegistry& registry_;
+  std::string path_;
+  Format format_;
+  std::chrono::milliseconds interval_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rc::obs
+
+#endif  // RC_SRC_OBS_EXPORT_H_

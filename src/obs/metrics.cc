@@ -1,0 +1,162 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rc::obs {
+
+size_t ThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t shard = next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+Histogram::Histogram(const HistogramOptions& options) {
+  min_ = std::max(options.min, 1e-12);
+  double max = std::max(options.max, min_ * 1.0001);
+  int per_decade = std::max(options.buckets_per_decade, 1);
+  buckets_per_log10_ = static_cast<double>(per_decade);
+  int finite = static_cast<int>(std::ceil(std::log10(max / min_) * per_decade)) + 1;
+  bounds_.reserve(static_cast<size_t>(finite));
+  for (int i = 0; i < finite; ++i) {
+    bounds_.push_back(min_ * std::pow(10.0, static_cast<double>(i) / per_decade));
+  }
+  for (Shard& shard : shards_) {
+    shard.buckets = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  }
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  if (!(value > min_)) return 0;  // also catches NaN and negatives
+  // ceil(log10(value/min) * per_decade): the first bound at or above value.
+  double pos = std::log10(value / min_) * buckets_per_log10_;
+  size_t index = static_cast<size_t>(std::ceil(pos - 1e-9));
+  return std::min(index, bounds_.size());  // bounds_.size() == overflow
+}
+
+void Histogram::Record(double value) {
+  Shard& shard = shards_[ThreadShard()];
+  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b <= bounds_.size(); ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      return b < bounds.size() ? bounds[b] : bounds.back();
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+std::string RenderLabels(Labels& labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  return out;
+}
+}  // namespace
+
+MetricsRegistry::Entry& MetricsRegistry::GetOrCreate(std::string_view name,
+                                                     Labels&& labels,
+                                                     std::string_view help, Kind kind,
+                                                     const HistogramOptions* options) {
+  MetricInfo info;
+  info.name = std::string(name);
+  info.labels = RenderLabels(labels);
+  info.help = std::string(help);
+  std::string key = info.Key();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error("metric '" + key + "' already registered with another type");
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.kind = kind;
+  entry.info = std::move(info);
+  switch (kind) {
+    case Kind::kCounter:
+      entry.counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      entry.gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      entry.histogram = std::make_unique<Histogram>(options != nullptr ? *options
+                                                                       : HistogramOptions{});
+      break;
+  }
+  return entries_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name, Labels labels,
+                                     std::string_view help) {
+  return *GetOrCreate(name, std::move(labels), help, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, Labels labels,
+                                 std::string_view help) {
+  return *GetOrCreate(name, std::move(labels), help, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         const HistogramOptions& options, Labels labels,
+                                         std::string_view help) {
+  return *GetOrCreate(name, std::move(labels), help, Kind::kHistogram, &options).histogram;
+}
+
+RegistrySnapshot MetricsRegistry::Collect() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, entry] : entries_) {
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counters.push_back({entry.info, entry.counter->Value()});
+        break;
+      case Kind::kGauge:
+        snap.gauges.push_back({entry.info, entry.gauge->Value()});
+        break;
+      case Kind::kHistogram:
+        snap.histograms.push_back({entry.info, entry.histogram->TakeSnapshot()});
+        break;
+    }
+  }
+  return snap;
+}
+
+}  // namespace rc::obs

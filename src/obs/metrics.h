@@ -1,0 +1,234 @@
+// rc::obs — process-wide observability: named counters, gauges, and
+// lock-free fixed-bucket latency histograms behind a MetricsRegistry.
+//
+// Design goals (DESIGN.md "Observability"):
+//  * The prediction hot path must stay contention-free: every instrument
+//    write is a relaxed atomic operation on a cache-line-aligned per-thread
+//    shard — no mutex, no CAS retry loop on the counter path, no allocation.
+//  * Instrument lookup is cold: callers resolve `Counter*` / `Histogram*`
+//    once (registry get-or-create under a mutex) and hold the pointer; the
+//    registry never invalidates instrument pointers.
+//  * Snapshots are wait-free for writers: readers sum the shards with
+//    relaxed loads, so a snapshot taken during a write storm is approximate
+//    in the usual Prometheus sense (each shard value is atomically read, the
+//    sum may be mid-update) but never torn per shard and never blocks.
+//
+// Naming scheme: `rc_<component>_<what>[_<unit>]`, labels rendered
+// Prometheus-style (`rc_sched_rule_rejections{rule="strict-fit"}`).
+// Latency histograms use microseconds and the `_us` suffix.
+#ifndef RC_SRC_OBS_METRICS_H_
+#define RC_SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rc::obs {
+
+// Monotonic nanosecond clock used by all span/latency instrumentation.
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Shard index for the calling thread, assigned round-robin on first use so
+// concurrent writers land on different cache lines. Shared by all sharded
+// instruments (the pinning only needs to spread threads, not isolate them).
+inline constexpr size_t kShards = 16;  // power of two
+size_t ThreadShard();
+
+// Monotonic counter. Increment is one relaxed fetch_add on the caller's
+// shard; Value() sums the shards.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    shards_[ThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& s : shards_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+// Last-write-wins double gauge. Set/Value are single relaxed operations;
+// Add is a relaxed fetch_add (C++20 atomic<double>).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log-spaced bucket layout: finite bucket i covers (bound[i-1], bound[i]]
+// with bound[i] = min * 10^(i / buckets_per_decade); one overflow bucket
+// catches values above `max`. Values at or below `min` (including negatives)
+// land in bucket 0. Quantiles report the upper bound of the bucket holding
+// the rank, so they overestimate by at most one bucket width (a factor of
+// 10^(1/buckets_per_decade), 1.33x at the default 8 buckets per decade).
+struct HistogramOptions {
+  double min = 0.1;  // upper bound of the first bucket (0.1us default)
+  double max = 1e7;  // values above this land in the overflow bucket (10s)
+  int buckets_per_decade = 8;
+};
+
+// Fixed-bucket histogram with per-thread shards. Record() is two relaxed
+// atomic adds (bucket count + shard sum) plus a log10 for the bucket index;
+// no locks anywhere, so it is safe on the prediction hot path.
+class Histogram {
+ public:
+  explicit Histogram(const HistogramOptions& options = {});
+
+  void Record(double value);
+
+  // Upper bounds of the finite buckets (the overflow bucket is implicit).
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  struct Snapshot {
+    uint64_t count = 0;
+    double sum = 0.0;
+    std::vector<double> bounds;         // finite bucket upper bounds
+    std::vector<uint64_t> buckets;      // size bounds.size() + 1 (overflow last)
+
+    double Mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+    // q in [0, 1]; returns the upper bound of the bucket containing the
+    // ceil(q * count)-th smallest sample (overflow reports the top bound).
+    double Quantile(double q) const;
+  };
+  Snapshot TakeSnapshot() const;
+
+ private:
+  size_t BucketIndex(double value) const;
+
+  std::vector<double> bounds_;
+  double min_;
+  double buckets_per_log10_;
+
+  struct alignas(64) Shard {
+    std::atomic<double> sum{0.0};
+    std::atomic<uint64_t> count{0};
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;  // bounds + overflow
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+// Sorted label set rendered Prometheus-style. Keys are sorted (and
+// duplicates rejected by last-wins) at registration time so the same label
+// set always maps to the same instrument and the same exposition text.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Identity + metadata shared by all samples of one instrument.
+struct MetricInfo {
+  std::string name;
+  std::string labels;  // rendered `k="v",k2="v2"`; empty when unlabeled
+  std::string help;
+
+  // `name{labels}` — the registry key and the exposition series name.
+  std::string Key() const {
+    return labels.empty() ? name : name + "{" + labels + "}";
+  }
+};
+
+struct CounterSample {
+  MetricInfo info;
+  uint64_t value = 0;
+};
+struct GaugeSample {
+  MetricInfo info;
+  double value = 0.0;
+};
+struct HistogramSample {
+  MetricInfo info;
+  Histogram::Snapshot hist;
+};
+
+// A consistent-enough view of a registry for export: every sample is read
+// with relaxed loads while writers keep writing. Sorted by (name, labels).
+struct RegistrySnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+// Named instruments, get-or-create. Instrument pointers are stable for the
+// registry's lifetime; resolve once and hold the pointer. Asking for an
+// existing name with a different instrument type throws std::logic_error.
+// `Global()` is the process-wide registry; components default to it but
+// accept an injected registry so tests can assert in isolation.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name, Labels labels = {},
+                      std::string_view help = "");
+  Gauge& GetGauge(std::string_view name, Labels labels = {},
+                  std::string_view help = "");
+  // Options apply on first registration only (later calls return the
+  // existing instrument unchanged).
+  Histogram& GetHistogram(std::string_view name, const HistogramOptions& options = {},
+                          Labels labels = {}, std::string_view help = "");
+
+  RegistrySnapshot Collect() const;
+
+ private:
+  enum class Kind : uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    MetricInfo info;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& GetOrCreate(std::string_view name, Labels&& labels, std::string_view help,
+                     Kind kind, const HistogramOptions* options);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;  // keyed by MetricInfo::Key()
+};
+
+// Convenience: times a scope into a histogram (microseconds). `histogram`
+// may be null, making the timer a no-op.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_ns_(histogram != nullptr ? NowNs() : 0) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(static_cast<double>(NowNs() - start_ns_) / 1000.0);
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_ns_;
+};
+
+}  // namespace rc::obs
+
+#endif  // RC_SRC_OBS_METRICS_H_

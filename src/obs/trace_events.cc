@@ -1,0 +1,102 @@
+#include "src/obs/trace_events.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+
+namespace rc::obs {
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* log = new TraceLog();
+  return *log;
+}
+
+uint64_t TraceSpan::Now() { return NowNs(); }
+
+void TraceLog::Enable(size_t ring_capacity) {
+  capacity_.store(std::max<size_t>(1, ring_capacity), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceLog::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+TraceLog::Ring& TraceLog::LocalRing() {
+  // The shared_ptr keeps the ring alive past thread exit (Drain may run
+  // later); the raw pointer cache keeps the armed path to one TLS read.
+  thread_local std::shared_ptr<Ring> ring = [this] {
+    auto r = std::make_shared<Ring>();
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    r->tid = next_tid_++;
+    rings_.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void TraceLog::Append(const char* name, uint64_t start_ns, uint64_t duration_ns) {
+  Ring& ring = LocalRing();
+  size_t capacity = capacity_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(ring.mu);
+  TraceEvent event{name, start_ns, duration_ns, ring.tid};
+  if (ring.events.size() < capacity) {
+    ring.events.push_back(event);
+    ring.next = ring.events.size() % capacity;
+  } else {
+    if (ring.events.size() > capacity) {  // capacity shrank since last enable
+      ring.events.resize(capacity);
+      ring.next = 0;
+    }
+    ring.events[ring.next] = event;
+    ring.next = (ring.next + 1) % capacity;
+    ring.wrapped = true;
+  }
+}
+
+std::vector<TraceEvent> TraceLog::Drain() {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& ring : rings) {
+    std::lock_guard<std::mutex> lock(ring->mu);
+    if (ring->wrapped) {
+      out.insert(out.end(), ring->events.begin() + static_cast<ptrdiff_t>(ring->next),
+                 ring->events.end());
+      out.insert(out.end(), ring->events.begin(),
+                 ring->events.begin() + static_cast<ptrdiff_t>(ring->next));
+    } else {
+      out.insert(out.end(), ring->events.begin(), ring->events.end());
+    }
+    ring->events.clear();
+    ring->next = 0;
+    ring->wrapped = false;
+  }
+  return out;
+}
+
+std::string TraceLog::DrainJson() {
+  std::vector<TraceEvent> events = Drain();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::string out = "[";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ",";
+    out += "\n{\"name\":\"";
+    out += e.name;
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":" + std::to_string(e.tid);
+    out += ",\"ts\":" + std::to_string(e.start_ns / 1000) + "." +
+           std::to_string((e.start_ns % 1000) / 100);
+    out += ",\"dur\":" + std::to_string(e.duration_ns / 1000) + "." +
+           std::to_string((e.duration_ns % 1000) / 100);
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace rc::obs

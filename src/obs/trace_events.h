@@ -1,0 +1,101 @@
+// rc::obs — structured trace events: scoped spans with nanosecond
+// timestamps, written to bounded per-thread ring buffers and drainable as
+// JSON (Chrome trace-event format, loadable in chrome://tracing / Perfetto).
+//
+// Cost model: tracing is DISABLED by default. A TraceSpan on a disabled log
+// costs one relaxed atomic load; when enabled, finishing a span takes the
+// owning thread's (uncontended) ring mutex to append one fixed-size event.
+// Span names must be string literals (or otherwise outlive the log): events
+// store the pointer, never a copy, so the armed path does not allocate.
+//
+// Instrumented paths (grep for the names):
+//   prediction:  client/predict  client/result_cache  client/featurize
+//                client/execute
+//   store path:  client/store_read  client/crc_verify  client/decode
+//                client/publish_state  store/get  store/put  disk/read
+//                disk/write  pipeline/publish
+#ifndef RC_SRC_OBS_TRACE_EVENTS_H_
+#define RC_SRC_OBS_TRACE_EVENTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rc::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  // static string; not owned
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;  // small sequential id of the recording thread
+};
+
+// Process-wide trace log. Per-thread rings are created on a thread's first
+// armed span and live for the process lifetime, so Drain() observes events
+// from threads that have already exited.
+class TraceLog {
+ public:
+  static TraceLog& Global();
+
+  // Arms tracing. Rings hold the most recent `ring_capacity` events per
+  // thread (older events are overwritten).
+  void Enable(size_t ring_capacity = 4096);
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Append(const char* name, uint64_t start_ns, uint64_t duration_ns);
+
+  // Removes and returns all buffered events, oldest-first per thread.
+  std::vector<TraceEvent> Drain();
+  // Drains into a Chrome trace-event JSON array ("X" complete events,
+  // timestamps in microseconds).
+  std::string DrainJson();
+
+ private:
+  TraceLog() = default;
+
+  struct Ring {
+    std::mutex mu;
+    std::vector<TraceEvent> events;  // capacity-bounded circular buffer
+    size_t next = 0;
+    bool wrapped = false;
+    uint32_t tid = 0;
+  };
+
+  Ring& LocalRing();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<size_t> capacity_{4096};
+  std::mutex registry_mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+  uint32_t next_tid_ = 1;
+};
+
+// RAII span: captures the start time at construction and appends one event
+// at destruction. Disabled logs make both ends near-free.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), armed_(TraceLog::Global().enabled()) {
+    if (armed_) start_ns_ = Now();
+  }
+  ~TraceSpan() {
+    if (armed_) TraceLog::Global().Append(name_, start_ns_, Now() - start_ns_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  static uint64_t Now();
+
+  const char* name_;
+  bool armed_;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace rc::obs
+
+#endif  // RC_SRC_OBS_TRACE_EVENTS_H_

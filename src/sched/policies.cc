@@ -68,7 +68,7 @@ SchedulingPolicy::SchedulingPolicy(PolicyConfig config, Cluster* cluster,
                                    UtilPredictor predictor)
     : config_(config),
       predictor_(std::move(predictor)),
-      scheduler_(std::make_unique<Scheduler>(cluster, BuildRules(config))),
+      scheduler_(std::make_unique<Scheduler>(cluster, BuildRules(config), config.metrics)),
       rng_(config.seed) {}
 
 double SchedulingPolicy::UtilFractionFor(const VmRequest& vm) {

@@ -46,6 +46,9 @@ struct PolicyConfig {
   // Add this many buckets to every prediction (sensitivity study).
   int bucket_shift = 0;
   uint64_t seed = 7;  // for RC-soft-wrong's random incorrect bucket
+  // Registry receiving the scheduler's rc_sched_* instruments; null =
+  // process-global.
+  rc::obs::MetricsRegistry* metrics = nullptr;
 };
 
 class SchedulingPolicy {

@@ -4,23 +4,47 @@
 
 namespace rc::sched {
 
-Scheduler::Scheduler(Cluster* cluster, std::vector<std::unique_ptr<Rule>> rules)
-    : cluster_(cluster), rules_(std::move(rules)) {}
+Scheduler::Scheduler(Cluster* cluster, std::vector<std::unique_ptr<Rule>> rules,
+                     rc::obs::MetricsRegistry* metrics)
+    : cluster_(cluster), rules_(std::move(rules)) {
+  rc::obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : rc::obs::MetricsRegistry::Global();
+  rejections_.reserve(rules_.size());
+  softened_.reserve(rules_.size());
+  for (const auto& rule : rules_) {
+    rejections_.push_back(&reg.GetCounter("rc_sched_rule_rejections",
+                                          {{"rule", rule->name()}},
+                                          "hard rule emptied the candidate set"));
+    softened_.push_back(&reg.GetCounter("rc_sched_rule_softened",
+                                        {{"rule", rule->name()}},
+                                        "soft rule disregarded (would empty set)"));
+  }
+  place_latency_us_ = &reg.GetHistogram("rc_sched_place_latency_us", {}, {},
+                                        "Schedule() wall time (us)");
+}
 
 std::optional<int> Scheduler::Schedule(const VmRequest& vm) {
+  rc::obs::ScopedTimer timer(place_latency_us_);
   scratch_.resize(static_cast<size_t>(cluster_->size()));
   std::iota(scratch_.begin(), scratch_.end(), 0);
 
   std::vector<int> backup;
-  for (const auto& rule : rules_) {
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const auto& rule = rules_[i];
     if (rule->hard()) {
       rule->Filter(vm, *cluster_, scratch_);
-      if (scratch_.empty()) return std::nullopt;
+      if (scratch_.empty()) {
+        rejections_[i]->Increment();
+        return std::nullopt;
+      }
     } else {
       // Soft rule: enforce only if at least one candidate survives.
       backup = scratch_;
       rule->Filter(vm, *cluster_, scratch_);
-      if (scratch_.empty()) scratch_ = std::move(backup);
+      if (scratch_.empty()) {
+        softened_[i]->Increment();
+        scratch_ = std::move(backup);
+      }
     }
   }
 

@@ -8,6 +8,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sched/cluster.h"
 #include "src/sched/rules.h"
 
@@ -15,7 +16,11 @@ namespace rc::sched {
 
 class Scheduler {
  public:
-  Scheduler(Cluster* cluster, std::vector<std::unique_ptr<Rule>> rules);
+  // `metrics` receives the rc_sched_* instruments — per-rule rejection and
+  // softened counters plus the placement-latency histogram (null =
+  // process-global registry).
+  Scheduler(Cluster* cluster, std::vector<std::unique_ptr<Rule>> rules,
+            rc::obs::MetricsRegistry* metrics = nullptr);
 
   // Selects a server and performs PlaceVM bookkeeping; nullopt = scheduling
   // failure (no server satisfies the hard rules).
@@ -30,6 +35,13 @@ class Scheduler {
   Cluster* cluster_;
   std::vector<std::unique_ptr<Rule>> rules_;
   std::vector<int> scratch_;  // candidate buffer reused across calls
+  // Parallel to rules_: rejections[i] counts hard-rule i emptying the
+  // candidate set (a scheduling failure attributed to that rule);
+  // softened[i] counts soft-rule i being disregarded because enforcing it
+  // would have left no candidate.
+  std::vector<rc::obs::Counter*> rejections_;
+  std::vector<rc::obs::Counter*> softened_;
+  rc::obs::Histogram* place_latency_us_ = nullptr;
 };
 
 }  // namespace rc::sched

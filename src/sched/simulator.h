@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sched/policies.h"
 #include "src/trace/trace.h"
 
@@ -22,6 +23,10 @@ struct SimConfig {
   // Sensitivity study: added to every per-slot max utilization fraction
   // ("artificially adding 25% to all real utilization values").
   double util_inflation = 0.0;
+  // Registry receiving the rc_sim_* instruments — per-slot processing
+  // latency, oversubscription headroom gauge, and outcome counters (null =
+  // process-global).
+  rc::obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SimResult {

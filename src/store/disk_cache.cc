@@ -7,6 +7,7 @@
 #include "src/common/crc32.h"
 #include "src/common/faults.h"
 #include "src/common/hashing.h"
+#include "src/obs/trace_events.h"
 
 namespace rc::store {
 
@@ -43,9 +44,17 @@ bool ReadPod(const std::vector<uint8_t>& buf, size_t& pos, T& v) {
 
 }  // namespace
 
-DiskCache::DiskCache(std::filesystem::path dir, int64_t expiry_seconds)
+DiskCache::DiskCache(std::filesystem::path dir, int64_t expiry_seconds,
+                     rc::obs::MetricsRegistry* metrics)
     : dir_(std::move(dir)), expiry_seconds_(expiry_seconds) {
   std::filesystem::create_directories(dir_);
+  rc::obs::MetricsRegistry& reg =
+      metrics != nullptr ? *metrics : rc::obs::MetricsRegistry::Global();
+  m_.writes = &reg.GetCounter("rc_disk_writes", {}, "disk-cache writes attempted");
+  m_.reads_hit = &reg.GetCounter("rc_disk_reads", {{"result", "hit"}}, "reads by outcome");
+  m_.reads_miss = &reg.GetCounter("rc_disk_reads", {{"result", "miss"}});
+  m_.reads_expired = &reg.GetCounter("rc_disk_reads", {{"result", "expired"}});
+  m_.reads_corrupt = &reg.GetCounter("rc_disk_reads", {{"result", "corrupt"}});
 }
 
 std::filesystem::path DiskCache::PathFor(const std::string& key) const {
@@ -62,6 +71,8 @@ std::filesystem::path DiskCache::PathFor(const std::string& key) const {
 }
 
 void DiskCache::Put(const std::string& key, const VersionedBlob& blob, int64_t now_unix) {
+  rc::obs::TraceSpan span("disk/write");
+  m_.writes->Increment();
   if (now_unix < 0) now_unix = NowUnix();
   if (faults::InjectError("disk/write")) return;  // cache writes are best-effort
   std::vector<uint8_t> frame;
@@ -88,30 +99,43 @@ void DiskCache::Put(const std::string& key, const VersionedBlob& blob, int64_t n
 }
 
 std::optional<VersionedBlob> DiskCache::Get(const std::string& key, int64_t now_unix) const {
+  rc::obs::TraceSpan span("disk/read");
   if (now_unix < 0) now_unix = NowUnix();
-  if (faults::InjectError("disk/read")) return std::nullopt;
+  if (faults::InjectError("disk/read")) {
+    m_.reads_miss->Increment();
+    return std::nullopt;
+  }
   std::ifstream in(PathFor(key), std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    m_.reads_miss->Increment();
+    return std::nullopt;
+  }
   std::vector<uint8_t> frame((std::istreambuf_iterator<char>(in)),
                              std::istreambuf_iterator<char>());
   faults::InjectMutation("disk/read", frame);
 
+  auto corrupt = [this]() -> std::optional<VersionedBlob> {
+    m_.reads_corrupt->Increment();
+    return std::nullopt;
+  };
   size_t pos = 0;
   uint64_t magic = 0;
   int64_t stamp = 0;
   VersionedBlob blob;
   uint64_t size = 0;
-  if (!ReadPod(frame, pos, magic) || magic != kMagic) return std::nullopt;
-  if (!ReadPod(frame, pos, stamp)) return std::nullopt;
-  if (!ReadPod(frame, pos, blob.version)) return std::nullopt;
-  if (!ReadPod(frame, pos, blob.crc)) return std::nullopt;
-  if (!ReadPod(frame, pos, size)) return std::nullopt;
+  if (!ReadPod(frame, pos, magic) || magic != kMagic) return corrupt();
+  if (!ReadPod(frame, pos, stamp)) return corrupt();
+  if (!ReadPod(frame, pos, blob.version)) return corrupt();
+  if (!ReadPod(frame, pos, blob.crc)) return corrupt();
+  if (!ReadPod(frame, pos, size)) return corrupt();
   if (expiry_seconds_ >= 0 && now_unix - stamp > expiry_seconds_) {
+    m_.reads_expired->Increment();
     return std::nullopt;  // expired: the paper's client ignores stale disk data
   }
-  if (frame.size() - pos != size) return std::nullopt;  // torn or padded frame
+  if (frame.size() - pos != size) return corrupt();  // torn or padded frame
   blob.data.assign(frame.begin() + static_cast<ptrdiff_t>(pos), frame.end());
-  if (Crc32(blob.data) != blob.crc) return std::nullopt;  // bit rot
+  if (Crc32(blob.data) != blob.crc) return corrupt();  // bit rot
+  m_.reads_hit->Increment();
   return blob;
 }
 

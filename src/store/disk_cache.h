@@ -18,8 +18,10 @@ namespace rc::store {
 class DiskCache {
  public:
   // Entries older than `expiry_seconds` are ignored (and lazily removed).
-  // The directory is created if needed.
-  DiskCache(std::filesystem::path dir, int64_t expiry_seconds);
+  // The directory is created if needed. `metrics` receives the rc_disk_*
+  // instruments (null = the process-global registry).
+  DiskCache(std::filesystem::path dir, int64_t expiry_seconds,
+            rc::obs::MetricsRegistry* metrics = nullptr);
 
   // Persists a blob under the (sanitized) key, stamped with `now_unix`
   // (defaults to wall-clock when < 0).
@@ -38,8 +40,17 @@ class DiskCache {
  private:
   std::filesystem::path PathFor(const std::string& key) const;
 
+  struct Instruments {
+    rc::obs::Counter* writes;
+    rc::obs::Counter* reads_hit;
+    rc::obs::Counter* reads_miss;
+    rc::obs::Counter* reads_expired;
+    rc::obs::Counter* reads_corrupt;  // bad magic / torn frame / CRC mismatch
+  };
+
   std::filesystem::path dir_;
   int64_t expiry_seconds_;
+  Instruments m_{};
 };
 
 }  // namespace rc::store

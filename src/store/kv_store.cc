@@ -6,6 +6,7 @@
 
 #include "src/common/crc32.h"
 #include "src/common/faults.h"
+#include "src/obs/trace_events.h"
 
 namespace rc::store {
 
@@ -19,7 +20,20 @@ double LatencyProfile::SampleUs(Rng& rng) const {
   return rng.LogNormal(mu, sigma);
 }
 
-KvStore::KvStore(Options options) : options_(options), latency_rng_(options.latency_seed) {}
+KvStore::KvStore(Options options) : options_(options), latency_rng_(options.latency_seed) {
+  rc::obs::MetricsRegistry& reg = options_.metrics != nullptr
+                                      ? *options_.metrics
+                                      : rc::obs::MetricsRegistry::Global();
+  m_.puts = &reg.GetCounter("rc_store_puts", {}, "successful writes");
+  m_.puts_dropped =
+      &reg.GetCounter("rc_store_puts_dropped", {}, "writes lost to outage or error");
+  m_.gets_ok = &reg.GetCounter("rc_store_gets", {{"status", "ok"}}, "reads by outcome");
+  m_.gets_notfound = &reg.GetCounter("rc_store_gets", {{"status", "notfound"}});
+  m_.gets_failed = &reg.GetCounter("rc_store_gets", {{"status", "failed"}});
+  m_.keys = &reg.GetGauge("rc_store_keys", {}, "distinct keys stored");
+  m_.get_latency_us = &reg.GetHistogram("rc_store_get_latency_us", {}, {},
+                                        "TryGet latency incl. simulated profile (us)");
+}
 
 void KvStore::MaybeSleep() const {
   if (!options_.simulate_latency) return;
@@ -34,14 +48,21 @@ void KvStore::MaybeSleep() const {
 }
 
 uint64_t KvStore::Put(const std::string& key, std::vector<uint8_t> data) {
+  rc::obs::TraceSpan span("store/put");
   faults::InjectLatency("kv/put");
   MaybeSleep();
-  if (faults::InjectError("kv/put")) return 0;  // injected I/O error: write lost
+  if (faults::InjectError("kv/put")) {  // injected I/O error: write lost
+    m_.puts_dropped->Increment();
+    return 0;
+  }
   VersionedBlob blob;
   std::vector<std::shared_ptr<ListenerEntry>> to_notify;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!available_) return 0;  // outage: drop the write, notify nobody
+    if (!available_) {  // outage: drop the write, notify nobody
+      m_.puts_dropped->Increment();
+      return 0;
+    }
     VersionedBlob& entry = blobs_[key];
     entry.version += 1;
     entry.data = std::move(data);
@@ -50,6 +71,8 @@ uint64_t KvStore::Put(const std::string& key, std::vector<uint8_t> data) {
     // readers see a blob whose checksum no longer matches its payload —
     // exactly what a real partial or bit-flipped write looks like.
     faults::InjectMutation("kv/put", entry.data);
+    m_.puts->Increment();
+    m_.keys->Set(static_cast<double>(blobs_.size()));
     blob = entry;
     to_notify.reserve(listeners_.size());
     for (const auto& [id, listener] : listeners_) {
@@ -69,18 +92,30 @@ uint64_t KvStore::Put(const std::string& key, std::vector<uint8_t> data) {
 }
 
 KvStore::GetResult KvStore::TryGet(const std::string& key) const {
+  rc::obs::TraceSpan span("store/get");
+  rc::obs::ScopedTimer timer(m_.get_latency_us);
   faults::InjectLatency("kv/get");
   MaybeSleep();
-  if (faults::InjectError("kv/get")) return {GetStatus::kError, {}};
+  if (faults::InjectError("kv/get")) {
+    m_.gets_failed->Increment();
+    return {GetStatus::kError, {}};
+  }
   GetResult result;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!available_) return {GetStatus::kUnavailable, {}};
+    if (!available_) {
+      m_.gets_failed->Increment();
+      return {GetStatus::kUnavailable, {}};
+    }
     auto it = blobs_.find(key);
-    if (it == blobs_.end()) return {GetStatus::kNotFound, {}};
+    if (it == blobs_.end()) {
+      m_.gets_notfound->Increment();
+      return {GetStatus::kNotFound, {}};
+    }
     result.status = GetStatus::kOk;
     result.blob = it->second;
   }
+  m_.gets_ok->Increment();
   // Corrupt-on-read injection mutates only this caller's copy; the stored
   // blob (and its CRC) stay intact, so the next read may succeed.
   faults::InjectMutation("kv/get", result.blob.data);

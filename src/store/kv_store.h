@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 
 namespace rc::store {
 
@@ -48,6 +49,8 @@ class KvStore {
     bool simulate_latency = false;  // busy-sleep on Get/Put when true
     LatencyProfile latency;
     uint64_t latency_seed = 99;
+    // Registry receiving the rc_store_* instruments; null = process-global.
+    rc::obs::MetricsRegistry* metrics = nullptr;
   };
 
   KvStore() : KvStore(Options{}) {}
@@ -111,7 +114,19 @@ class KvStore {
 
   void MaybeSleep() const;
 
+  // rc_store_* instruments; resolved once at construction, relaxed writes.
+  struct Instruments {
+    rc::obs::Counter* puts;
+    rc::obs::Counter* puts_dropped;  // outage / injected error: write lost
+    rc::obs::Counter* gets_ok;
+    rc::obs::Counter* gets_notfound;
+    rc::obs::Counter* gets_failed;  // unavailable or injected error
+    rc::obs::Gauge* keys;
+    rc::obs::Histogram* get_latency_us;
+  };
+
   Options options_;
+  Instruments m_{};
   mutable std::mutex mu_;
   mutable Rng latency_rng_;
   std::map<std::string, VersionedBlob> blobs_;

@@ -1,0 +1,225 @@
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace rc::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+}
+
+TEST(CounterTest, ConcurrentHammeringIsExact) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, BucketBoundsAreLogSpaced) {
+  HistogramOptions opts;
+  opts.min = 1.0;
+  opts.max = 100.0;
+  opts.buckets_per_decade = 1;
+  Histogram h(opts);
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_DOUBLE_EQ(h.bounds()[0], 1.0);
+  EXPECT_NEAR(h.bounds()[1], 10.0, 1e-9);
+  EXPECT_NEAR(h.bounds()[2], 100.0, 1e-7);
+}
+
+TEST(HistogramTest, RecordPlacesValuesInExpectedBuckets) {
+  HistogramOptions opts;
+  opts.min = 1.0;
+  opts.max = 100.0;
+  opts.buckets_per_decade = 1;
+  Histogram h(opts);
+  h.Record(0.5);     // at/below min -> bucket 0
+  h.Record(-3.0);    // negative -> bucket 0
+  h.Record(5.0);     // (1, 10] -> bucket 1
+  h.Record(10.0);    // boundary lands in its own bucket, not the next
+  h.Record(1000.0);  // above max -> overflow
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 5u);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 2u);
+  EXPECT_EQ(snap.buckets[2], 0u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_NEAR(snap.sum, 0.5 - 3.0 + 5.0 + 10.0 + 1000.0, 1e-9);
+  EXPECT_NEAR(snap.Mean(), snap.sum / 5.0, 1e-12);
+}
+
+TEST(HistogramTest, ConcurrentRecordKeepsExactCount) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<double>(1 + (t * kPerThread + i) % 1000));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// The quantile must come out within one bucket width of the exact sorted
+// oracle: at the default 8 buckets per decade the reported upper bound is at
+// most 10^(1/8) = 1.334x the true sample and never below it.
+TEST(HistogramTest, QuantilesMatchSortedOracleWithinOneBucket) {
+  Histogram h;
+  std::vector<double> samples;
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 11) / static_cast<double>(1ULL << 53);
+  };
+  constexpr int kSamples = 20000;
+  samples.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    double v = std::pow(10.0, next() * 6.0);  // log-uniform in [1, 1e6]
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  auto snap = h.TakeSnapshot();
+  const double ratio = std::pow(10.0, 1.0 / 8.0);
+  for (double q : {0.50, 0.95, 0.99, 0.999}) {
+    uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(std::ceil(q * static_cast<double>(kSamples))));
+    double oracle = samples[rank - 1];
+    double reported = snap.Quantile(q);
+    EXPECT_GE(reported, oracle * (1.0 - 1e-9)) << "q=" << q;
+    EXPECT_LE(reported, oracle * ratio * (1.0 + 1e-9)) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, QuantileOnEmptySnapshotIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.TakeSnapshot().Quantile(0.5), 0.0);
+}
+
+TEST(RegistryTest, GetOrCreateReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("rc_test_total", {{"k", "v"}}, "help");
+  Counter& b = reg.GetCounter("rc_test_total", {{"k", "v"}});
+  EXPECT_EQ(&a, &b);
+  Counter& c = reg.GetCounter("rc_test_total", {{"k", "other"}});
+  EXPECT_NE(&a, &c);
+  Counter& d = reg.GetCounter("rc_test_total");
+  EXPECT_NE(&a, &d);
+}
+
+TEST(RegistryTest, LabelOrderDoesNotSplitSeries) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("rc_test_total", {{"a", "1"}, {"b", "2"}});
+  Counter& b = reg.GetCounter("rc_test_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(RegistryTest, TypeMismatchThrows) {
+  MetricsRegistry reg;
+  reg.GetCounter("rc_test_metric");
+  EXPECT_THROW(reg.GetGauge("rc_test_metric"), std::logic_error);
+  EXPECT_THROW(reg.GetHistogram("rc_test_metric"), std::logic_error);
+}
+
+TEST(RegistryTest, HistogramOptionsApplyOnFirstRegistrationOnly) {
+  MetricsRegistry reg;
+  HistogramOptions narrow;
+  narrow.min = 1.0;
+  narrow.max = 10.0;
+  narrow.buckets_per_decade = 1;
+  Histogram& a = reg.GetHistogram("rc_test_us", narrow);
+  HistogramOptions wide;
+  wide.min = 0.001;
+  wide.max = 1e9;
+  Histogram& b = reg.GetHistogram("rc_test_us", wide);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.bounds().size(), a.bounds().size());
+}
+
+TEST(RegistryTest, CollectReturnsSortedSamples) {
+  MetricsRegistry reg;
+  reg.GetCounter("rc_b_total").Increment(2);
+  reg.GetCounter("rc_a_total").Increment(1);
+  reg.GetGauge("rc_g").Set(7.0);
+  reg.GetHistogram("rc_h_us").Record(3.0);
+  RegistrySnapshot snap = reg.Collect();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].info.name, "rc_a_total");
+  EXPECT_EQ(snap.counters[0].value, 1u);
+  EXPECT_EQ(snap.counters[1].info.name, "rc_b_total");
+  EXPECT_EQ(snap.counters[1].value, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].value, 7.0);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].hist.count, 1u);
+}
+
+TEST(RegistryTest, ConcurrentGetOrCreateAndWrite) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < kIters; ++i) {
+        reg.GetCounter("rc_shared_total").Increment();
+        reg.GetHistogram("rc_shared_us").Record(1.0 + i % 100);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("rc_shared_total").Value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.GetHistogram("rc_shared_us").TakeSnapshot().count,
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(ScopedTimerTest, RecordsRoughlyElapsedTime) {
+  Histogram h;
+  {
+    ScopedTimer timer(&h);
+  }
+  auto snap = h.TakeSnapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_GE(snap.sum, 0.0);
+  ScopedTimer noop(nullptr);  // null histogram must be a no-op
+  EXPECT_EQ(h.TakeSnapshot().count, 1u);
+}
+
+}  // namespace
+}  // namespace rc::obs

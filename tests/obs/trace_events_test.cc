@@ -1,0 +1,120 @@
+#include "src/obs/trace_events.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rc::obs {
+namespace {
+
+// TraceLog::Global() is a process singleton, so every test disables it and
+// drains leftovers on entry and exit.
+class TraceEventsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceLog::Global().Disable();
+    TraceLog::Global().Drain();
+  }
+  void TearDown() override {
+    TraceLog::Global().Disable();
+    TraceLog::Global().Drain();
+  }
+};
+
+TEST_F(TraceEventsTest, DisabledSpansRecordNothing) {
+  {
+    TraceSpan span("test/disabled");
+  }
+  EXPECT_TRUE(TraceLog::Global().Drain().empty());
+}
+
+TEST_F(TraceEventsTest, SpanRecordsNameAndDuration) {
+  TraceLog::Global().Enable();
+  {
+    TraceSpan span("test/span");
+  }
+  std::vector<TraceEvent> events = TraceLog::Global().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test/span");
+  EXPECT_GT(events[0].start_ns, 0u);
+  EXPECT_GT(events[0].tid, 0u);
+}
+
+TEST_F(TraceEventsTest, SpanArmedAtConstructionOutlivesDisable) {
+  TraceLog::Global().Enable();
+  {
+    TraceSpan span("test/late");
+    TraceLog::Global().Disable();
+    // The span was armed while tracing was on; it still records.
+  }
+  EXPECT_EQ(TraceLog::Global().Drain().size(), 1u);
+}
+
+TEST_F(TraceEventsTest, RingIsBoundedAndKeepsNewestEvents) {
+  TraceLog::Global().Enable(/*ring_capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    TraceSpan span("test/bounded");
+  }
+  std::vector<TraceEvent> events = TraceLog::Global().Drain();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest-first within the ring.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].start_ns, events[i - 1].start_ns);
+  }
+}
+
+TEST_F(TraceEventsTest, DrainClearsTheLog) {
+  TraceLog::Global().Enable();
+  {
+    TraceSpan span("test/cleared");
+  }
+  EXPECT_EQ(TraceLog::Global().Drain().size(), 1u);
+  EXPECT_TRUE(TraceLog::Global().Drain().empty());
+}
+
+TEST_F(TraceEventsTest, ThreadsGetDistinctTids) {
+  TraceLog::Global().Enable();
+  std::thread other([] { TraceSpan span("test/other-thread"); });
+  other.join();
+  {
+    TraceSpan span("test/main-thread");
+  }
+  std::vector<TraceEvent> events = TraceLog::Global().Drain();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceEventsTest, DrainJsonIsChromeTraceShaped) {
+  TraceLog::Global().Enable();
+  {
+    TraceSpan span("test/json");
+  }
+  std::string json = TraceLog::Global().DrainJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"test/json\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_TRUE(TraceLog::Global().Drain().empty());  // DrainJson also drains
+}
+
+TEST_F(TraceEventsTest, ConcurrentSpansAllLand) {
+  TraceLog::Global().Enable(/*ring_capacity=*/4096);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span("test/concurrent");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(TraceLog::Global().Drain().size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace rc::obs

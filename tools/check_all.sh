@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# One-shot gate: plain build + full ctest, a metrics-exposition smoke check
+# (quickstart with RC_METRICS_DUMP=1 must emit every required metric family),
+# then the TSan and ASan/UBSan suites. Any failure stops the script.
+#
+# Usage: tools/check_all.sh
+#   RC_SKIP_SANITIZERS=1 tools/check_all.sh   # plain build + ctest + smoke only
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${RC_BUILD_DIR:-${REPO_ROOT}/build}"
+
+echo "== plain build =="
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}"
+cmake --build "${BUILD_DIR}" -j"$(nproc)"
+
+echo "== ctest =="
+ctest --test-dir "${BUILD_DIR}" -j"$(nproc)" --output-on-failure
+
+echo "== metrics exposition smoke check =="
+EXPO="$(RC_METRICS_DUMP=1 "${BUILD_DIR}/examples/quickstart")"
+REQUIRED_FAMILIES=(
+  rc_client_result_hits
+  rc_client_result_misses
+  rc_client_model_executions
+  rc_client_predict_latency_us
+  rc_client_store_read_latency_us
+  rc_client_degraded_reason
+  rc_client_breaker_trips
+  rc_store_puts
+  rc_store_gets
+  rc_store_get_latency_us
+  rc_pipeline_stage_duration_us
+  rc_pipeline_published_records
+)
+for family in "${REQUIRED_FAMILIES[@]}"; do
+  if ! grep -q "^${family}" <<<"${EXPO}"; then
+    echo "FAIL: metric family '${family}' missing from quickstart exposition" >&2
+    exit 1
+  fi
+done
+echo "all ${#REQUIRED_FAMILIES[@]} required metric families present."
+
+if [[ "${RC_SKIP_SANITIZERS:-0}" != "1" ]]; then
+  echo "== TSan =="
+  "${REPO_ROOT}/tools/check_tsan.sh"
+  echo "== ASan+UBSan =="
+  "${REPO_ROOT}/tools/check_asan.sh"
+fi
+
+echo "check_all passed."
