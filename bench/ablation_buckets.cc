@@ -59,9 +59,10 @@ int main() {
       if (vm.created >= 60 * kDay && vm.created < 90 * kDay) test_vms.push_back(&vm);
     }
     int64_t fine_correct = 0, coarse_correct = 0;
+    std::vector<double> proba(static_cast<size_t>(model.num_classes()));
     for (size_t j = 0; j < test.size(); ++j) {
       featurizer.EncodeTo(test[j].inputs, test[j].history, row);
-      int predicted = model.PredictScored(row).label;
+      int predicted = model.PredictScored(row, proba).label;
       double p95 = test_vms[j]->p95_max_cpu;
       if (predicted == FineBucket(p95, granularity)) ++fine_correct;
       // Map the fine prediction to the paper's 4 buckets via its midpoint.

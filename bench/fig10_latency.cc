@@ -64,12 +64,15 @@ void BM_ModelExecution(benchmark::State& state) {
   Metric metric = static_cast<Metric>(state.range(0));
   std::string model = MetricModelName(metric);
   Featurizer featurizer(metric, OfflinePipeline::EncodingFor(metric));
+  const rc::ml::Classifier& classifier = *h.trained.models.at(model);
+  std::vector<double> row(featurizer.num_features());
+  std::vector<double> proba(static_cast<size_t>(classifier.num_classes()));
   size_t i = 0;
   for (auto _ : state) {
     const ClientInputs& inputs = h.test_inputs[i++ % h.test_inputs.size()];
     const auto& features = h.trained.feature_data.at(inputs.subscription_id);
-    auto row = featurizer.Encode(inputs, features);
-    auto scored = h.trained.models.at(model)->PredictScored(row);
+    featurizer.EncodeTo(inputs, features, row);
+    auto scored = classifier.PredictScored(row, proba);
     benchmark::DoNotOptimize(scored);
   }
   state.SetLabel(MetricName(metric));
@@ -115,12 +118,14 @@ void PrintPercentileTable() {
         "featurize + model execute latency (us)");
     std::vector<double> micros;
     micros.reserve(kCalls);
+    const rc::ml::Classifier& classifier = *h.trained.models.at(model);
     std::vector<double> row(featurizer.num_features());
+    std::vector<double> proba(static_cast<size_t>(classifier.num_classes()));
     for (int i = 0; i < kCalls; ++i) {
       const ClientInputs& inputs = h.test_inputs[static_cast<size_t>(i) % h.test_inputs.size()];
       auto start = std::chrono::steady_clock::now();
       featurizer.EncodeTo(inputs, h.trained.feature_data.at(inputs.subscription_id), row);
-      auto scored = h.trained.models.at(model)->PredictScored(row);
+      auto scored = classifier.PredictScored(row, proba);
       benchmark::DoNotOptimize(scored);
       auto end = std::chrono::steady_clock::now();
       double us = std::chrono::duration<double, std::micro>(end - start).count();

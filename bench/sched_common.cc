@@ -98,6 +98,7 @@ SimResult SchedStudy::RunOnRequests(std::vector<VmRequest> reqs, PolicyKind kind
 
   int64_t asked = 0, served = 0;
   rc::sched::UtilPredictor predictor;
+  rc::sched::BatchUtilPredictor batch_predictor;
   if (kind == PolicyKind::kRcInformedSoft || kind == PolicyKind::kRcInformedHard) {
     if (client_ != nullptr) {
       static const rc::trace::VmSizeCatalog catalog;
@@ -107,6 +108,20 @@ SimResult SchedStudy::RunOnRequests(std::vector<VmRequest> reqs, PolicyKind kind
             client_->PredictSingle("VM_P95UTIL", InputsFromVm(*vm.source, catalog));
         if (p.valid && p.score >= 0.6) ++served;
         return p;
+      };
+      // The simulator hands PrefetchUtil whole arrival waves; one
+      // predict_many call featurizes and scores every cache miss in a single
+      // engine walk.
+      batch_predictor = [&](std::span<const VmRequest> vms) {
+        std::vector<rc::core::ClientInputs> inputs;
+        inputs.reserve(vms.size());
+        for (const VmRequest& vm : vms) inputs.push_back(InputsFromVm(*vm.source, catalog));
+        std::vector<Prediction> out = client_->PredictMany("VM_P95UTIL", inputs);
+        asked += static_cast<int64_t>(out.size());
+        for (const Prediction& p : out) {
+          if (p.valid && p.score >= 0.6) ++served;
+        }
+        return out;
       };
     } else {
       // No trained client (sensitivity sweeps): perfect predictions, so the
@@ -118,7 +133,8 @@ SimResult SchedStudy::RunOnRequests(std::vector<VmRequest> reqs, PolicyKind kind
       };
     }
   }
-  rc::sched::SchedulingPolicy policy(policy_config, &cluster, std::move(predictor));
+  rc::sched::SchedulingPolicy policy(policy_config, &cluster, std::move(predictor),
+                                     std::move(batch_predictor));
   rc::sched::ClusterSimulator simulator(sim_config);
   SimResult result = simulator.Run(std::move(reqs), policy);
   if (asked > 0) {

@@ -8,6 +8,7 @@
 #include "src/common/crc32.h"
 #include "src/common/faults.h"
 #include "src/common/hashing.h"
+#include "src/ml/exec_engine.h"
 #include "src/obs/trace_events.h"
 
 namespace rc::core {
@@ -125,6 +126,9 @@ void Client::RegisterInstruments() {
   m_.store_read_latency_us = &metrics_->GetHistogram(
       "rc_client_store_read_latency_us", rc::obs::HistogramOptions{},
       config_.metric_labels, "per-call store read latency incl. retries (us)");
+  m_.batch_size = &metrics_->GetHistogram(
+      "rc_client_batch_size", rc::obs::HistogramOptions{}, config_.metric_labels,
+      "inputs per PredictMany call");
 }
 
 bool Client::ShouldSampleLatency() const {
@@ -369,6 +373,9 @@ Client::IngestResult Client::IngestLocked(ClientState& state, const std::string&
         entry->featurizer = it->second->featurizer;
       }
       entry->model = rc::ml::Classifier::DeserializeTagged(blob.data);
+      // DeserializeTagged compiled the engine on this (load) path; pin the
+      // pointer so the batch hot path skips the virtual engine() lookup.
+      entry->engine = entry->model->engine();
       // The spec may arrive before or after the model; featurizer is built
       // when both are present.
       if (!entry->spec.name.empty() && entry->featurizer == nullptr) {
@@ -381,6 +388,7 @@ Client::IngestResult Client::IngestLocked(ClientState& state, const std::string&
       auto entry = std::make_shared<LoadedModel>();
       if (auto it = state.models.find(spec.name); it != state.models.end()) {
         entry->model = it->second->model;
+        entry->engine = it->second->engine;
       }
       entry->spec = spec;
       entry->featurizer = std::make_shared<Featurizer>(spec.metric, spec.encoding);
@@ -490,14 +498,19 @@ Prediction Client::Execute(const ClientState& state, const LoadedModel& entry,
     empty.subscription_id = inputs.subscription_id;
     history = &empty;
   }
-  std::vector<double> row;
+  // Per-thread arenas for the feature row and probability scratch: resize is
+  // a no-op once warm, so a steady-state prediction allocates nothing.
+  thread_local std::vector<double> row;
+  thread_local std::vector<double> proba;
+  row.resize(entry.featurizer->num_features());
+  proba.resize(static_cast<size_t>(entry.model->num_classes()));
   {
     rc::obs::TraceSpan featurize_span("client/featurize");
-    row = entry.featurizer->Encode(inputs, *history);
+    entry.featurizer->EncodeTo(inputs, *history, row);
   }
   m_.model_executions->Increment();
   rc::obs::TraceSpan execute_span("client/execute");
-  auto scored = entry.model->PredictScored(row);
+  auto scored = entry.model->PredictScored(row, proba);
   return Prediction::Of(scored.label, scored.score);
 }
 
@@ -591,11 +604,106 @@ Prediction Client::PredictMiss(const std::string& model_name, const ClientInputs
   return prediction;
 }
 
+// Table 2's predict_many, batched for real: the result cache is probed per
+// key first, and only the misses are featurized into one contiguous arena and
+// scored through a single ExecEngine::PredictBatch walk (tree-major, so each
+// tree's pool slice is read once for the whole batch). Inputs whose model or
+// feature data are absent from the snapshot fall back to the same serialized
+// PredictMiss path PredictSingle uses, so batch and single semantics are
+// identical input-for-input.
 std::vector<Prediction> Client::PredictMany(const std::string& model_name,
                                             std::span<const ClientInputs> inputs) {
-  std::vector<Prediction> out;
-  out.reserve(inputs.size());
-  for (const ClientInputs& in : inputs) out.push_back(PredictSingle(model_name, in));
+  rc::obs::TraceSpan span("client/predict");
+  m_.batch_size->Record(static_cast<double>(inputs.size()));
+  std::vector<Prediction> out(inputs.size());
+  if (inputs.empty()) return out;
+
+  std::vector<uint64_t> keys(inputs.size());
+  std::vector<size_t> misses;
+  misses.reserve(inputs.size());
+  {
+    rc::obs::TraceSpan cache_span("client/result_cache");
+    for (size_t i = 0; i < inputs.size(); ++i) {
+      keys[i] = inputs[i].CacheKey(model_name);
+      if (auto cached = ResultCacheLookup(keys[i])) {
+        m_.result_hits->Increment();
+        out[i] = *cached;
+      } else {
+        misses.push_back(i);
+      }
+    }
+  }
+  if (misses.empty()) return out;
+  m_.result_misses->Increment(misses.size());
+
+  // Epoch before snapshot, exactly as in PredictSingleImpl, so a concurrent
+  // publish+invalidate is detected at insert time.
+  uint64_t epoch = cache_epoch_.load(std::memory_order_acquire);
+  StatePtr state = LoadState();
+  const LoadedModel* model = state->FindReadyModel(model_name);
+  if (model == nullptr) {
+    for (size_t i : misses) out[i] = PredictMiss(model_name, inputs[i], keys[i], epoch);
+    return out;
+  }
+
+  // Partition the misses: rows answerable from this snapshot join the batch;
+  // the rest (feature data absent, allow_missing off) take the slow path.
+  std::vector<size_t> batched;
+  batched.reserve(misses.size());
+  std::vector<size_t> slow;
+  for (size_t i : misses) {
+    if (state->FindFeatures(inputs[i].subscription_id) != nullptr ||
+        config_.allow_missing_feature_data) {
+      batched.push_back(i);
+    } else {
+      slow.push_back(i);
+    }
+  }
+
+  if (!batched.empty()) {
+    const size_t nf = model->featurizer->num_features();
+    const size_t k = static_cast<size_t>(model->model->num_classes());
+    // Per-thread arenas (feature matrix + probability block): warm calls
+    // featurize and score the whole batch without a single allocation.
+    thread_local std::vector<double> X;
+    thread_local std::vector<double> proba;
+    X.resize(batched.size() * nf);
+    proba.resize(batched.size() * k);
+    SubscriptionFeatures empty;
+    {
+      rc::obs::TraceSpan featurize_span("client/featurize");
+      for (size_t b = 0; b < batched.size(); ++b) {
+        const ClientInputs& in = inputs[batched[b]];
+        const SubscriptionFeatures* history = state->FindFeatures(in.subscription_id);
+        if (history == nullptr) {
+          empty.subscription_id = in.subscription_id;
+          history = &empty;
+        }
+        model->featurizer->EncodeTo(in, *history, {X.data() + b * nf, nf});
+      }
+    }
+    {
+      rc::obs::TraceSpan exec_span("client/exec_batch");
+      if (model->engine != nullptr) {
+        model->engine->PredictBatch(X.data(), batched.size(), nf, proba.data());
+      } else {
+        model->model->PredictBatch(X.data(), batched.size(), nf, proba.data());
+      }
+    }
+    m_.model_executions->Increment(batched.size());
+    for (size_t b = 0; b < batched.size(); ++b) {
+      const double* p = proba.data() + b * k;
+      size_t best = 0;
+      for (size_t c = 1; c < k; ++c) {
+        if (p[c] > p[best]) best = c;
+      }
+      Prediction prediction = Prediction::Of(static_cast<int>(best), p[best]);
+      out[batched[b]] = prediction;
+      if (prediction.valid) ResultCacheInsert(keys[batched[b]], prediction, epoch);
+    }
+  }
+
+  for (size_t i : slow) out[i] = PredictMiss(model_name, inputs[i], keys[i], epoch);
   return out;
 }
 

@@ -175,6 +175,10 @@ class Client {
     ModelSpec spec;
     std::shared_ptr<const rc::ml::Classifier> model;
     std::shared_ptr<const Featurizer> featurizer;
+    // The model's compiled execution engine, resolved once at ingest so the
+    // batched hot path needs no virtual dispatch. Owned by `model` (which
+    // this entry holds); null for classifier types without a compiled form.
+    const rc::ml::ExecEngine* engine = nullptr;
 
     bool ready() const { return model != nullptr && featurizer != nullptr; }
   };
@@ -240,6 +244,7 @@ class Client {
     rc::obs::Gauge* degraded_reason;            // numeric DegradedReason
     rc::obs::Histogram* predict_latency_us;     // sampled PredictSingle latency
     rc::obs::Histogram* store_read_latency_us;  // per-attempt store reads
+    rc::obs::Histogram* batch_size;             // inputs per PredictMany call
   };
   void RegisterInstruments();
   // True once per config_.predict_latency_sample_every calls on this thread.

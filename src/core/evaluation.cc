@@ -1,5 +1,6 @@
 #include "src/core/evaluation.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "src/obs/metrics.h"
@@ -20,12 +21,32 @@ MetricQuality EvaluateModel(const rc::ml::Classifier& model, const Featurizer& f
   rc::ml::ConfusionMatrix confusion(k);
   rc::ml::ThresholdedAccumulator thresholded(theta);
 
-  std::vector<double> row(featurizer.num_features());
-  for (const LabeledExample& example : examples) {
-    featurizer.EncodeTo(example.inputs, example.history, row);
-    auto scored = model.PredictScored(row);
-    confusion.Add(example.label, scored.label);
-    thresholded.Add(example.label, scored.label, scored.score);
+  // Validation scores through the batched engine path: featurize a chunk
+  // into one row-major block, one PredictBatch walk per chunk. The chunk
+  // size bounds the arena (512 rows x features doubles) while keeping each
+  // tree's node-pool slice hot across the whole chunk.
+  constexpr size_t kChunk = 512;
+  const size_t nf = featurizer.num_features();
+  const size_t kk = static_cast<size_t>(model.num_classes());
+  std::vector<double> X(kChunk * nf);
+  std::vector<double> proba(kChunk * kk);
+  for (size_t begin = 0; begin < examples.size(); begin += kChunk) {
+    const size_t n = std::min(kChunk, examples.size() - begin);
+    for (size_t i = 0; i < n; ++i) {
+      const LabeledExample& example = examples[begin + i];
+      featurizer.EncodeTo(example.inputs, example.history, {X.data() + i * nf, nf});
+    }
+    model.PredictBatch(X.data(), n, nf, proba.data());
+    for (size_t i = 0; i < n; ++i) {
+      const double* p = proba.data() + i * kk;
+      size_t best = 0;
+      for (size_t c = 1; c < kk; ++c) {
+        if (p[c] > p[best]) best = c;
+      }
+      const LabeledExample& example = examples[begin + i];
+      confusion.Add(example.label, static_cast<int>(best));
+      thresholded.Add(example.label, static_cast<int>(best), p[best]);
+    }
   }
 
   q.examples = confusion.total();

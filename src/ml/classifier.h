@@ -14,6 +14,8 @@
 
 namespace rc::ml {
 
+class ExecEngine;
+
 class Classifier {
  public:
   virtual ~Classifier() = default;
@@ -24,6 +26,18 @@ class Classifier {
   // Class-probability vector for one example (size num_classes).
   virtual std::vector<double> PredictProba(std::span<const double> x) const = 0;
 
+  // Allocation-free single-example form: writes num_classes() probabilities
+  // into `out`. The ensemble classifiers route this through their compiled
+  // ExecEngine; the default falls back to PredictProba (test doubles).
+  virtual void PredictInto(std::span<const double> x, std::span<double> out) const;
+
+  // Batched inference over `n` row-major examples of `stride` doubles each
+  // (stride >= num_features()); writes n * num_classes() probabilities.
+  // Ensemble classifiers dispatch to ExecEngine::PredictBatch (tree-major,
+  // cache-friendly); the default loops PredictInto.
+  virtual void PredictBatch(const double* X, size_t n, size_t stride,
+                            double* proba_out) const;
+
   // Convenience: argmax class plus its probability (the "confidence score"
   // RC attaches to every prediction).
   struct Scored {
@@ -31,6 +45,13 @@ class Classifier {
     double score;
   };
   Scored PredictScored(std::span<const double> x) const;
+  // Scratch form for hot loops: no allocation; `scratch.size()` must be
+  // num_classes().
+  Scored PredictScored(std::span<const double> x, std::span<double> scratch) const;
+
+  // The compiled execution-engine representation, when one exists (built on
+  // the load path for the ensemble classifiers; nullptr for custom types).
+  virtual const ExecEngine* engine() const { return nullptr; }
 
   // Gain-based feature importance, summed over the ensemble; empty if the
   // model was deserialized without importances.

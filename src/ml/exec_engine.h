@@ -1,0 +1,142 @@
+// rc::ml::ExecEngine — a compiled, immutable inference representation for
+// tree ensembles, built once per loaded model (on the store-load path, never
+// on the prediction path).
+//
+// Layout (DESIGN.md "Execution engine"): every internal node of every tree
+// in the ensemble lives in one contiguous structure-of-arrays node pool —
+// separate `feature_idx`, `threshold`, `left_child`, `right_child` arrays —
+// instead of the per-tree array-of-structs the trainer produces. Leaves are
+// not nodes at all: a child link is either a non-negative index into the
+// pool or the bitwise complement (~payload, always negative) of an index
+// into the leaf-payload table. The walk loop is therefore branch-light:
+//
+//   while (link >= 0)
+//     link = x[feature_idx[link]] < threshold[link] ? left_child[link]
+//                                                   : right_child[link];
+//   payload = ~link;
+//
+// One comparison steers the descent and the sign bit terminates it — no
+// "is this a leaf" load, no pointer chasing across per-tree allocations.
+//
+// The batched entry point `PredictBatch` walks tree-major (outer loop over
+// trees, inner loop over examples) so a tree's slice of the pool stays hot
+// in cache across the whole batch; per-example accumulation order over trees
+// is unchanged, which keeps results bit-identical to the legacy traversal
+// (the exec_engine parity suite asserts exact equality, NaN/∞ inputs
+// included). All entry points are allocation-free: callers own the output
+// buffers, and the engine needs no scratch beyond them.
+#ifndef RC_SRC_ML_EXEC_ENGINE_H_
+#define RC_SRC_ML_EXEC_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/ml/classifier.h"
+#include "src/ml/tree.h"
+
+namespace rc::ml {
+
+class RandomForest;
+class GradientBoostedTrees;
+
+class ExecEngine {
+ public:
+  // How per-tree leaf payloads combine into class probabilities.
+  enum class Family {
+    kAveragedForest,  // classification trees; mean of per-leaf distributions
+    kBoosted,         // regression trees; logit accumulation + sigmoid/softmax
+  };
+
+  static ExecEngine Compile(const RandomForest& forest);
+  static ExecEngine Compile(const GradientBoostedTrees& gbt);
+  // Dispatch on the concrete classifier type; nullptr for types without a
+  // compiled representation (e.g. test doubles).
+  static std::shared_ptr<const ExecEngine> TryCompile(const Classifier& model);
+
+  Family family() const { return family_; }
+  int num_classes() const { return num_classes_; }
+  int num_features() const { return num_features_; }
+  size_t tree_count() const { return root_link_.size(); }
+  size_t internal_node_count() const { return feature_idx_.size(); }
+  size_t leaf_payload_count() const {
+    return family_ == Family::kAveragedForest
+               ? leaf_probs_.size() / static_cast<size_t>(num_classes_)
+               : leaf_values_.size();
+  }
+
+  // Batched inference: `X` is row-major with `n` examples of `stride`
+  // doubles each (stride >= num_features(); only the first num_features()
+  // of each row are read). Writes n * num_classes() probabilities to
+  // `proba_out`. Allocation-free; `proba_out` doubles as the logit scratch
+  // for the boosted family.
+  void PredictBatch(const double* X, size_t n, size_t stride, double* proba_out) const;
+
+  // Single-example form writing into caller scratch; `proba_out.size()` must
+  // be num_classes(). Exactly PredictBatch with n == 1.
+  void PredictInto(std::span<const double> x, std::span<double> proba_out) const;
+
+  // Argmax + confidence without allocation; `scratch.size()` must be
+  // num_classes(). Ties break toward the lower class index, matching
+  // Classifier::PredictScored.
+  Classifier::Scored PredictScored(std::span<const double> x,
+                                   std::span<double> scratch) const;
+
+ private:
+  ExecEngine() = default;
+
+  // Flattens one tree into the pool; returns nothing, appends the root link.
+  void AddTree(const DecisionTree& tree);
+
+  // Lockstep width for the batched walk. Each example's descent is a chain
+  // of dependent loads; stepping a lane of descents round-robin gives the
+  // CPU that many independent chains to overlap, which is where the batched
+  // throughput win over single-example calls comes from.
+  static constexpr size_t kWalkLanes = 16;
+  // Walks `m` (<= kWalkLanes) consecutive rows of `X` through the tree
+  // rooted at `root` in lockstep for exactly `rounds` comparison rounds
+  // (the tree's depth, from tree_depth_); writes each row's leaf payload
+  // index.
+  void WalkLane(int32_t root, int32_t rounds, const double* X, size_t stride,
+                size_t m, int32_t* payload) const;
+
+  // Walks one tree from `link` for example `x`; returns the leaf payload.
+  int32_t Walk(int32_t link, const double* x) const {
+    while (link >= 0) {
+      link = x[feature_idx_[static_cast<size_t>(link)]] <
+                     threshold_[static_cast<size_t>(link)]
+                 ? left_child_[static_cast<size_t>(link)]
+                 : right_child_[static_cast<size_t>(link)];
+    }
+    return ~link;
+  }
+  // Turns accumulated logits (boosted) / sums (forest) into probabilities.
+  void FinalizeRows(size_t n, double* proba_out) const;
+
+  Family family_ = Family::kAveragedForest;
+  int num_classes_ = 0;
+  int num_features_ = 0;
+  double learning_rate_ = 0.0;      // boosted only
+  std::vector<double> base_score_;  // boosted only (1 logit binary, k multi)
+
+  // Per-tree root link: >= 0 indexes the node pool, < 0 is ~payload (a tree
+  // whose root is already a leaf).
+  std::vector<int32_t> root_link_;
+  // Per-tree depth (max internal nodes on any root-to-leaf path): the exact
+  // round count for the lockstep lane walk, so the batch loop needs no
+  // "any lane still descending?" check between rounds.
+  std::vector<int32_t> tree_depth_;
+  // The SoA internal-node pool, all trees concatenated.
+  std::vector<int32_t> feature_idx_;
+  std::vector<double> threshold_;
+  std::vector<int32_t> left_child_;
+  std::vector<int32_t> right_child_;
+  // Leaf payload tables (one of the two, per family).
+  std::vector<float> leaf_probs_;    // forest: payload * num_classes + c
+  std::vector<double> leaf_values_;  // boosted: payload
+};
+
+}  // namespace rc::ml
+
+#endif  // RC_SRC_ML_EXEC_ENGINE_H_

@@ -5,24 +5,10 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "src/ml/exec_engine.h"
+#include "src/ml/link_functions.h"
+
 namespace rc::ml {
-
-namespace {
-
-void Softmax(std::span<const double> logits, std::span<double> out) {
-  double m = logits[0];
-  for (double v : logits) m = std::max(m, v);
-  double sum = 0.0;
-  for (size_t c = 0; c < logits.size(); ++c) {
-    out[c] = std::exp(logits[c] - m);
-    sum += out[c];
-  }
-  for (size_t c = 0; c < logits.size(); ++c) out[c] /= sum;
-}
-
-double Sigmoid(double z) { return 1.0 / (1.0 + std::exp(-z)); }
-
-}  // namespace
 
 GradientBoostedTrees GradientBoostedTrees::Fit(const Dataset& data, const GbtConfig& config) {
   if (data.num_rows() == 0) throw std::invalid_argument("GBT::Fit: empty data");
@@ -120,10 +106,41 @@ GradientBoostedTrees GradientBoostedTrees::Fit(const Dataset& data, const GbtCon
       }
     }
   }
+  model.CompileEngine();
   return model;
 }
 
+void GradientBoostedTrees::CompileEngine() {
+  engine_ = std::make_shared<const ExecEngine>(ExecEngine::Compile(*this));
+}
+
 std::vector<double> GradientBoostedTrees::PredictProba(std::span<const double> x) const {
+  std::vector<double> probs(static_cast<size_t>(num_classes_));
+  PredictInto(x, probs);
+  return probs;
+}
+
+void GradientBoostedTrees::PredictInto(std::span<const double> x,
+                                       std::span<double> out) const {
+  if (engine_ != nullptr) {
+    engine_->PredictInto(x, out);
+    return;
+  }
+  auto probs = PredictProbaLegacy(x);
+  std::copy(probs.begin(), probs.end(), out.begin());
+}
+
+void GradientBoostedTrees::PredictBatch(const double* X, size_t n, size_t stride,
+                                        double* proba_out) const {
+  if (engine_ != nullptr) {
+    engine_->PredictBatch(X, n, stride, proba_out);
+    return;
+  }
+  Classifier::PredictBatch(X, n, stride, proba_out);
+}
+
+std::vector<double> GradientBoostedTrees::PredictProbaLegacy(
+    std::span<const double> x) const {
   const bool binary = (num_classes_ == 2);
   if (binary) {
     double z = base_score_[0];
@@ -194,6 +211,9 @@ GradientBoostedTrees GradientBoostedTrees::Deserialize(ByteReader& r) {
   for (uint32_t i = 0; i < n; ++i) {
     model.trees_.push_back(DecisionTree::Deserialize(r, 0, model.num_features_));
   }
+  // Compile on the load path (the client's store_read -> decode span), so
+  // the first prediction is as cheap as every later one.
+  model.CompileEngine();
   return model;
 }
 

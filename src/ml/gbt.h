@@ -5,6 +5,7 @@
 #ifndef RC_SRC_ML_GBT_H_
 #define RC_SRC_ML_GBT_H_
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -34,16 +35,32 @@ class GradientBoostedTrees final : public Classifier {
 
   int num_classes() const override { return num_classes_; }
   int num_features() const override { return num_features_; }
+  // Prediction entry points delegate to the compiled ExecEngine (built at
+  // the end of Fit/Deserialize — the load path compiles, the prediction
+  // path only walks).
   std::vector<double> PredictProba(std::span<const double> x) const override;
+  void PredictInto(std::span<const double> x, std::span<double> out) const override;
+  void PredictBatch(const double* X, size_t n, size_t stride,
+                    double* proba_out) const override;
+  const ExecEngine* engine() const override { return engine_.get(); }
+  // The original per-tree AoS traversal, kept for the bit-exactness parity
+  // suite (tests/ml/exec_engine_test.cc) — not a hot path.
+  std::vector<double> PredictProbaLegacy(std::span<const double> x) const;
+
   std::vector<double> FeatureImportance() const override;
 
   size_t tree_count() const { return trees_.size(); }
+  const DecisionTree& tree(size_t i) const { return trees_[i]; }
+  const std::vector<double>& base_score() const { return base_score_; }
+  double learning_rate() const { return learning_rate_; }
 
   const char* type_name() const override { return "gbt"; }
   void Serialize(ByteWriter& w) const override;
   static GradientBoostedTrees Deserialize(ByteReader& r);
 
  private:
+  void CompileEngine();
+
   // K == 2: one tree per round (logistic); K > 2: K trees per round
   // (softmax), stored round-major.
   std::vector<DecisionTree> trees_;
@@ -51,6 +68,9 @@ class GradientBoostedTrees final : public Classifier {
   int num_classes_ = 0;
   int num_features_ = 0;
   double learning_rate_ = 0.2;
+  // Shared (not unique) so the model stays copyable; the engine is immutable
+  // and safe to share across copies and threads.
+  std::shared_ptr<const ExecEngine> engine_;
 };
 
 }  // namespace rc::ml

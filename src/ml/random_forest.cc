@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "src/ml/exec_engine.h"
+
 namespace rc::ml {
 
 RandomForest RandomForest::Fit(const Dataset& data, const RandomForestConfig& config) {
@@ -65,10 +67,39 @@ RandomForest RandomForest::Fit(const Dataset& data, const RandomForestConfig& co
     }
     for (auto& worker : workers) worker.join();
   }
+  forest.CompileEngine();
   return forest;
 }
 
+void RandomForest::CompileEngine() {
+  engine_ = std::make_shared<const ExecEngine>(ExecEngine::Compile(*this));
+}
+
 std::vector<double> RandomForest::PredictProba(std::span<const double> x) const {
+  std::vector<double> probs(static_cast<size_t>(num_classes_));
+  PredictInto(x, probs);
+  return probs;
+}
+
+void RandomForest::PredictInto(std::span<const double> x, std::span<double> out) const {
+  if (engine_ != nullptr) {
+    engine_->PredictInto(x, out);
+    return;
+  }
+  auto probs = PredictProbaLegacy(x);
+  std::copy(probs.begin(), probs.end(), out.begin());
+}
+
+void RandomForest::PredictBatch(const double* X, size_t n, size_t stride,
+                                double* proba_out) const {
+  if (engine_ != nullptr) {
+    engine_->PredictBatch(X, n, stride, proba_out);
+    return;
+  }
+  Classifier::PredictBatch(X, n, stride, proba_out);
+}
+
+std::vector<double> RandomForest::PredictProbaLegacy(std::span<const double> x) const {
   std::vector<double> acc(static_cast<size_t>(num_classes_), 0.0);
   std::vector<double> one(static_cast<size_t>(num_classes_));
   for (const auto& tree : trees_) {
@@ -120,6 +151,9 @@ RandomForest RandomForest::Deserialize(ByteReader& r) {
     forest.trees_.push_back(
         DecisionTree::Deserialize(r, forest.num_classes_, forest.num_features_));
   }
+  // Compile on the load path (the client's store_read -> decode span), so
+  // the first prediction is as cheap as every later one.
+  forest.CompileEngine();
   return forest;
 }
 

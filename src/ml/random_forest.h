@@ -33,7 +33,18 @@ class RandomForest final : public Classifier {
 
   int num_classes() const override { return num_classes_; }
   int num_features() const override { return num_features_; }
+  // Prediction entry points delegate to the compiled ExecEngine (built at
+  // the end of Fit/Deserialize, so the load path pays for compilation and
+  // the prediction path never does).
   std::vector<double> PredictProba(std::span<const double> x) const override;
+  void PredictInto(std::span<const double> x, std::span<double> out) const override;
+  void PredictBatch(const double* X, size_t n, size_t stride,
+                    double* proba_out) const override;
+  const ExecEngine* engine() const override { return engine_.get(); }
+  // The original per-tree AoS traversal, kept for the bit-exactness parity
+  // suite (tests/ml/exec_engine_test.cc) — not a hot path.
+  std::vector<double> PredictProbaLegacy(std::span<const double> x) const;
+
   std::vector<double> FeatureImportance() const override;
 
   size_t tree_count() const { return trees_.size(); }
@@ -44,9 +55,14 @@ class RandomForest final : public Classifier {
   static RandomForest Deserialize(ByteReader& r);
 
  private:
+  void CompileEngine();
+
   std::vector<DecisionTree> trees_;
   int num_classes_ = 0;
   int num_features_ = 0;
+  // Shared (not unique) so the forest stays copyable; the engine itself is
+  // immutable and safe to share across copies and threads.
+  std::shared_ptr<const ExecEngine> engine_;
 };
 
 }  // namespace rc::ml

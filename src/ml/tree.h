@@ -40,6 +40,17 @@ struct BinnedView {
 
 class DecisionTree {
  public:
+  // Tree node in the AoS layout produced by training/deserialization. Public
+  // (read-only via nodes()) so ExecEngine can flatten the tree into its SoA
+  // node pool without re-walking the serialized form.
+  struct Node {
+    int32_t feature = -1;   // -1 for leaves
+    double threshold = 0.0; // go left iff x[feature] < threshold
+    int32_t left = -1;
+    int32_t right = -1;
+    int32_t payload = -1;   // leaves: index into leaf storage
+  };
+
   DecisionTree() = default;
 
   // Fits a Gini classification tree. `row_indices` selects (possibly
@@ -71,6 +82,11 @@ class DecisionTree {
   // training feature count otherwise).
   const std::vector<double>& gain_importance() const { return gain_importance_; }
 
+  // Read-only structural access for the ExecEngine compiler (and tests).
+  std::span<const Node> nodes() const { return nodes_; }
+  std::span<const float> leaf_probs() const { return leaf_probs_; }
+  std::span<const double> leaf_values() const { return leaf_values_; }
+
   void Serialize(ByteWriter& w) const;
   // Deserializes and structurally validates one tree. When the caller knows
   // the ensemble contract it can pass `expected_classes` (exact match; GBT
@@ -80,14 +96,6 @@ class DecisionTree {
                                   int32_t num_features = -1);
 
  private:
-  struct Node {
-    int32_t feature = -1;   // -1 for leaves
-    double threshold = 0.0; // go left iff x[feature] < threshold
-    int32_t left = -1;
-    int32_t right = -1;
-    int32_t payload = -1;   // leaves: index into leaf storage
-  };
-
   size_t FindLeaf(std::span<const double> x) const;
 
   std::vector<Node> nodes_;

@@ -27,6 +27,10 @@ struct VmRequest {
   // scheduling policy before placement (1.0 = assume full usage; Algorithm 1
   // line 13). Bookkept on oversubscribable servers as cores * fraction.
   double predicted_util_fraction = 1.0;
+  // Set by SchedulingPolicy::PrefetchUtil when predicted_util_fraction was
+  // already filled by a batched prediction lookup; Place consumes (and
+  // clears) it instead of asking the predictor again.
+  bool util_prefetched = false;
   // Source record for telemetry replay in the simulator.
   const rc::trace::VmRecord* source = nullptr;
 };

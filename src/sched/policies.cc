@@ -65,11 +65,23 @@ std::vector<std::unique_ptr<Rule>> BuildRules(const PolicyConfig& config) {
 }  // namespace
 
 SchedulingPolicy::SchedulingPolicy(PolicyConfig config, Cluster* cluster,
-                                   UtilPredictor predictor)
+                                   UtilPredictor predictor,
+                                   BatchUtilPredictor batch_predictor)
     : config_(config),
       predictor_(std::move(predictor)),
+      batch_predictor_(std::move(batch_predictor)),
       scheduler_(std::make_unique<Scheduler>(cluster, BuildRules(config), config.metrics)),
       rng_(config.seed) {}
+
+double SchedulingPolicy::FractionFromPrediction(const rc::core::Prediction& pred) const {
+  if (!pred.valid || pred.score < config_.confidence_threshold) {
+    // Low confidence or no prediction: conservatively assume the VM uses its
+    // full allocation (Algorithm 1 lines 10-13).
+    return 1.0;
+  }
+  int bucket = std::min(3, pred.bucket + config_.bucket_shift);
+  return UtilizationBucketValue(bucket, BucketValuePolicy::kHigh);
+}
 
 double SchedulingPolicy::UtilFractionFor(const VmRequest& vm) {
   switch (config_.kind) {
@@ -92,22 +104,35 @@ double SchedulingPolicy::UtilFractionFor(const VmRequest& vm) {
       return UtilizationBucketValue(wrong, BucketValuePolicy::kHigh);
     }
     case PolicyKind::kRcInformedSoft:
-    case PolicyKind::kRcInformedHard: {
-      Prediction pred = predictor_ ? predictor_(vm) : Prediction::None();
-      if (!pred.valid || pred.score < config_.confidence_threshold) {
-        // Low confidence or no prediction: conservatively assume the VM
-        // uses its full allocation (Algorithm 1 lines 10-13).
-        return 1.0;
-      }
-      int bucket = std::min(3, pred.bucket + config_.bucket_shift);
-      return UtilizationBucketValue(bucket, BucketValuePolicy::kHigh);
-    }
+    case PolicyKind::kRcInformedHard:
+      return FractionFromPrediction(predictor_ ? predictor_(vm) : Prediction::None());
   }
   return 1.0;
 }
 
+void SchedulingPolicy::PrefetchUtil(std::span<VmRequest> vms) {
+  // Only the informed kinds consult a predictor, and only a batched one can
+  // beat per-VM calls. (RC-soft-wrong deliberately stays per-VM: its random
+  // bucket draws must happen in Place order to stay reproducible.)
+  if (vms.empty() || !batch_predictor_) return;
+  if (config_.kind != PolicyKind::kRcInformedSoft &&
+      config_.kind != PolicyKind::kRcInformedHard) {
+    return;
+  }
+  std::vector<Prediction> predictions = batch_predictor_(vms);
+  if (predictions.size() != vms.size()) return;  // malformed batch: fall back
+  for (size_t i = 0; i < vms.size(); ++i) {
+    vms[i].predicted_util_fraction = FractionFromPrediction(predictions[i]);
+    vms[i].util_prefetched = true;
+  }
+}
+
 std::optional<int> SchedulingPolicy::Place(VmRequest& vm) {
-  vm.predicted_util_fraction = UtilFractionFor(vm);
+  if (vm.util_prefetched) {
+    vm.util_prefetched = false;  // one prefetch serves one placement
+  } else {
+    vm.predicted_util_fraction = UtilFractionFor(vm);
+  }
   return scheduler_->Schedule(vm);
 }
 

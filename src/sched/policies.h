@@ -18,7 +18,9 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/core/prediction.h"
@@ -37,6 +39,11 @@ enum class PolicyKind {
 const char* ToString(PolicyKind kind);
 
 using UtilPredictor = std::function<rc::core::Prediction(const VmRequest& vm)>;
+// Batched form: one prediction per request, same order. Backed by the RC
+// client's predict_many, which featurizes and scores all cache misses in a
+// single engine walk instead of one model traversal per VM.
+using BatchUtilPredictor =
+    std::function<std::vector<rc::core::Prediction>(std::span<const VmRequest> vms)>;
 
 struct PolicyConfig {
   PolicyKind kind = PolicyKind::kRcInformedSoft;
@@ -54,11 +61,21 @@ struct PolicyConfig {
 class SchedulingPolicy {
  public:
   // `predictor` is required for the RC-informed kinds and ignored otherwise.
-  SchedulingPolicy(PolicyConfig config, Cluster* cluster, UtilPredictor predictor);
+  // `batch_predictor` is optional: when set, PrefetchUtil resolves whole
+  // arrival waves through it.
+  SchedulingPolicy(PolicyConfig config, Cluster* cluster, UtilPredictor predictor,
+                   BatchUtilPredictor batch_predictor = nullptr);
 
   // Computes vm.predicted_util_fraction per the policy, then schedules.
+  // Consumes a PrefetchUtil-filled fraction when the request carries one.
   std::optional<int> Place(VmRequest& vm);
   void Complete(const VmRequest& vm, int server_id);
+
+  // Resolves predictions for a whole arrival wave with one batched client
+  // call and stamps each request's predicted_util_fraction (informed kinds
+  // with a batch predictor only; a no-op otherwise). Requests the simulator
+  // hands to Place afterwards skip the per-VM predictor call.
+  void PrefetchUtil(std::span<VmRequest> vms);
 
   const PolicyConfig& config() const { return config_; }
   const Cluster& cluster() const { return scheduler_->cluster(); }
@@ -68,8 +85,13 @@ class SchedulingPolicy {
   double UtilFractionFor(const VmRequest& vm);
 
  private:
+  // Maps one prediction to the utilization fraction Algorithm 1 books
+  // (confidence gate + bucket shift); shared by the single and batched paths.
+  double FractionFromPrediction(const rc::core::Prediction& pred) const;
+
   PolicyConfig config_;
   UtilPredictor predictor_;
+  BatchUtilPredictor batch_predictor_;
   std::unique_ptr<Scheduler> scheduler_;
   Rng rng_;
 };

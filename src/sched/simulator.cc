@@ -75,6 +75,15 @@ SimResult ClusterSimulator::Run(std::vector<VmRequest> requests,
 
   size_t next_arrival = 0;
   auto process_events_until = [&](SimTime t) {
+    // Resolve predictions for the whole arrival wave up front: one batched
+    // client call per slot instead of one prediction per Place. Departures
+    // interleaved below don't depend on predictions, so prefetching the wave
+    // before the event loop cannot change placement order or outcomes.
+    size_t wave_end = next_arrival;
+    while (wave_end < requests.size() && requests[wave_end].arrival <= t) ++wave_end;
+    if (wave_end > next_arrival) {
+      policy.PrefetchUtil({requests.data() + next_arrival, wave_end - next_arrival});
+    }
     while (true) {
       bool have_arrival = next_arrival < requests.size() && requests[next_arrival].arrival <= t;
       bool have_departure = !departures.empty() && departures.top().time <= t;

@@ -17,12 +17,16 @@ cmake --build "${BUILD_DIR}" -j"$(nproc)"
 echo "== ctest =="
 ctest --test-dir "${BUILD_DIR}" -j"$(nproc)" --output-on-failure
 
+echo "== exec-engine parity (bit-exact vs legacy traversal) =="
+"${BUILD_DIR}/tests/rc_ml_tests" --gtest_filter='ExecEngine*'
+
 echo "== metrics exposition smoke check =="
 EXPO="$(RC_METRICS_DUMP=1 "${BUILD_DIR}/examples/quickstart")"
 REQUIRED_FAMILIES=(
   rc_client_result_hits
   rc_client_result_misses
   rc_client_model_executions
+  rc_client_batch_size
   rc_client_predict_latency_us
   rc_client_store_read_latency_us
   rc_client_degraded_reason

@@ -12,12 +12,14 @@ BUILD_DIR="${RC_TSAN_BUILD_DIR:-${REPO_ROOT}/build-tsan}"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRC_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j"$(nproc)" --target rc_obs_tests rc_store_tests rc_core_tests
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
 echo "== rc_obs_tests (TSan) =="
 "${BUILD_DIR}/tests/rc_obs_tests" "$@"
+echo "== rc_ml_tests (TSan) =="
+"${BUILD_DIR}/tests/rc_ml_tests" "$@"
 echo "== rc_store_tests (TSan) =="
 "${BUILD_DIR}/tests/rc_store_tests" "$@"
 echo "== rc_core_tests (TSan) =="
