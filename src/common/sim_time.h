@@ -21,18 +21,36 @@ inline constexpr SimDuration kSlot = 5 * kMinute;
 inline constexpr int64_t kSlotsPerHour = kHour / kSlot;
 inline constexpr int64_t kSlotsPerDay = kDay / kSlot;
 
-// Index of the 5-minute slot containing time t (floor).
-inline constexpr int64_t SlotIndex(SimTime t) { return t / kSlot; }
+// Floor division/modulo for int64. C++ integer division truncates toward
+// zero, so for negative times (events dated before trace start, e.g. after
+// arrival-jitter subtraction) `t / kSlot` rounds the wrong way and `t % kDay`
+// goes negative — silently mapping to the wrong slot/hour/day. All slot and
+// calendar helpers below use floor semantics so the mapping is continuous
+// across t = 0: FloorDiv(-1, 300) == -1, FloorMod(-1, 86400) == 86399.
+inline constexpr int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  return (a % b != 0 && (a < 0) != (b < 0)) ? q - 1 : q;
+}
+inline constexpr int64_t FloorMod(int64_t a, int64_t b) {
+  int64_t m = a % b;
+  return (m != 0 && (m < 0) != (b < 0)) ? m + b : m;
+}
+
+// Index of the 5-minute slot containing time t (floor; negative t maps to
+// negative slot indices, never to slot 0).
+inline constexpr int64_t SlotIndex(SimTime t) { return FloorDiv(t, kSlot); }
 // Start time of slot i.
 inline constexpr SimTime SlotStart(int64_t i) { return i * kSlot; }
 
 // Hour-of-day in [0, 24) for time t, assuming the trace starts at midnight.
 inline constexpr int HourOfDay(SimTime t) {
-  return static_cast<int>((t % kDay) / kHour);
+  return static_cast<int>(FloorMod(t, kDay) / kHour);
 }
 // Day-of-week in [0, 7), day 0 being the trace's first day (a Monday by
 // convention in the workload model).
-inline constexpr int DayOfWeek(SimTime t) { return static_cast<int>((t / kDay) % 7); }
+inline constexpr int DayOfWeek(SimTime t) {
+  return static_cast<int>(FloorMod(t, kWeek) / kDay);
+}
 inline constexpr bool IsWeekend(SimTime t) { return DayOfWeek(t) >= 5; }
 
 }  // namespace rc

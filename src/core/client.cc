@@ -661,46 +661,64 @@ std::vector<Prediction> Client::PredictMany(const std::string& model_name,
   }
 
   if (!batched.empty()) {
+    // Dedup repeated cache keys within the batch: each distinct key is
+    // featurized and scored once, then fanned out to every row that asked
+    // for it (and inserted into the result cache once). Without this a batch
+    // of N identical inputs would walk the ensemble N times.
+    std::vector<size_t> unique_rows;  // representative input index per key
+    unique_rows.reserve(batched.size());
+    std::vector<size_t> slot_of(batched.size());  // batched row -> unique slot
+    {
+      std::unordered_map<uint64_t, size_t> slot_by_key;
+      slot_by_key.reserve(batched.size());
+      for (size_t b = 0; b < batched.size(); ++b) {
+        auto [it, inserted] = slot_by_key.try_emplace(keys[batched[b]], unique_rows.size());
+        if (inserted) unique_rows.push_back(batched[b]);
+        slot_of[b] = it->second;
+      }
+    }
+
     const size_t nf = model->featurizer->num_features();
     const size_t k = static_cast<size_t>(model->model->num_classes());
     // Per-thread arenas (feature matrix + probability block): warm calls
     // featurize and score the whole batch without a single allocation.
     thread_local std::vector<double> X;
     thread_local std::vector<double> proba;
-    X.resize(batched.size() * nf);
-    proba.resize(batched.size() * k);
+    X.resize(unique_rows.size() * nf);
+    proba.resize(unique_rows.size() * k);
     SubscriptionFeatures empty;
     {
       rc::obs::TraceSpan featurize_span("client/featurize");
-      for (size_t b = 0; b < batched.size(); ++b) {
-        const ClientInputs& in = inputs[batched[b]];
+      for (size_t u = 0; u < unique_rows.size(); ++u) {
+        const ClientInputs& in = inputs[unique_rows[u]];
         const SubscriptionFeatures* history = state->FindFeatures(in.subscription_id);
         if (history == nullptr) {
           empty.subscription_id = in.subscription_id;
           history = &empty;
         }
-        model->featurizer->EncodeTo(in, *history, {X.data() + b * nf, nf});
+        model->featurizer->EncodeTo(in, *history, {X.data() + u * nf, nf});
       }
     }
     {
       rc::obs::TraceSpan exec_span("client/exec_batch");
       if (model->engine != nullptr) {
-        model->engine->PredictBatch(X.data(), batched.size(), nf, proba.data());
+        model->engine->PredictBatch(X.data(), unique_rows.size(), nf, proba.data());
       } else {
-        model->model->PredictBatch(X.data(), batched.size(), nf, proba.data());
+        model->model->PredictBatch(X.data(), unique_rows.size(), nf, proba.data());
       }
     }
-    m_.model_executions->Increment(batched.size());
-    for (size_t b = 0; b < batched.size(); ++b) {
-      const double* p = proba.data() + b * k;
+    m_.model_executions->Increment(unique_rows.size());
+    std::vector<Prediction> scored(unique_rows.size());
+    for (size_t u = 0; u < unique_rows.size(); ++u) {
+      const double* p = proba.data() + u * k;
       size_t best = 0;
       for (size_t c = 1; c < k; ++c) {
         if (p[c] > p[best]) best = c;
       }
-      Prediction prediction = Prediction::Of(static_cast<int>(best), p[best]);
-      out[batched[b]] = prediction;
-      if (prediction.valid) ResultCacheInsert(keys[batched[b]], prediction, epoch);
+      scored[u] = Prediction::Of(static_cast<int>(best), p[best]);
+      if (scored[u].valid) ResultCacheInsert(keys[unique_rows[u]], scored[u], epoch);
     }
+    for (size_t b = 0; b < batched.size(); ++b) out[batched[b]] = scored[slot_of[b]];
   }
 
   for (size_t i : slow) out[i] = PredictMiss(model_name, inputs[i], keys[i], epoch);

@@ -1,0 +1,102 @@
+// Slot and calendar helpers: floor semantics pinned on both sides of t = 0.
+// Negative SimTime happens in practice (events dated before trace start after
+// arrival-jitter subtraction); truncating division used to map those to the
+// wrong slot/hour/day, so both the positive behavior and the negative floor
+// behavior are pinned here.
+#include "src/common/sim_time.h"
+
+#include <gtest/gtest.h>
+
+namespace rc {
+namespace {
+
+TEST(SimTimeTest, FloorDivMatchesTruncationForNonNegative) {
+  EXPECT_EQ(FloorDiv(0, 300), 0);
+  EXPECT_EQ(FloorDiv(299, 300), 0);
+  EXPECT_EQ(FloorDiv(300, 300), 1);
+  EXPECT_EQ(FloorDiv(86400, 86400), 1);
+}
+
+TEST(SimTimeTest, FloorDivRoundsTowardNegativeInfinity) {
+  EXPECT_EQ(FloorDiv(-1, 300), -1);
+  EXPECT_EQ(FloorDiv(-300, 300), -1);
+  EXPECT_EQ(FloorDiv(-301, 300), -2);
+  // Exhaustive continuity check across zero: each step of b advances the
+  // quotient exactly once, with no double-width bucket at the origin.
+  for (int64_t t = -1000; t < 1000; ++t) {
+    EXPECT_EQ(FloorDiv(t, 7), (t - FloorMod(t, 7)) / 7) << "t=" << t;
+  }
+}
+
+TEST(SimTimeTest, FloorModAlwaysInHalfOpenRange) {
+  for (int64_t t = -5000; t < 5000; t += 13) {
+    int64_t m = FloorMod(t, 300);
+    EXPECT_GE(m, 0) << "t=" << t;
+    EXPECT_LT(m, 300) << "t=" << t;
+    EXPECT_EQ(FloorDiv(t, 300) * 300 + m, t) << "t=" << t;
+  }
+}
+
+TEST(SimTimeTest, SlotIndexPositive) {
+  EXPECT_EQ(SlotIndex(0), 0);
+  EXPECT_EQ(SlotIndex(kSlot - 1), 0);
+  EXPECT_EQ(SlotIndex(kSlot), 1);
+  EXPECT_EQ(SlotStart(SlotIndex(12345)), 12300);
+}
+
+TEST(SimTimeTest, SlotIndexNegativeUsesFloor) {
+  // A time one second before trace start belongs to slot -1, not slot 0.
+  EXPECT_EQ(SlotIndex(-1), -1);
+  EXPECT_EQ(SlotIndex(-kSlot), -1);
+  EXPECT_EQ(SlotIndex(-kSlot - 1), -2);
+  // SlotStart(SlotIndex(t)) <= t < SlotStart(SlotIndex(t) + 1) for all t.
+  for (SimTime t = -3 * kSlot; t <= 3 * kSlot; t += 17) {
+    int64_t s = SlotIndex(t);
+    EXPECT_LE(SlotStart(s), t) << "t=" << t;
+    EXPECT_LT(t, SlotStart(s + 1)) << "t=" << t;
+  }
+}
+
+TEST(SimTimeTest, HourOfDayPositive) {
+  EXPECT_EQ(HourOfDay(0), 0);
+  EXPECT_EQ(HourOfDay(13 * kHour + 30 * kMinute), 13);
+  EXPECT_EQ(HourOfDay(kDay), 0);
+}
+
+TEST(SimTimeTest, HourOfDayNegativeWrapsBackward) {
+  // One second before midnight of day 0 is 23:59:59 of the previous day.
+  EXPECT_EQ(HourOfDay(-1), 23);
+  EXPECT_EQ(HourOfDay(-kHour), 23);
+  EXPECT_EQ(HourOfDay(-kHour - 1), 22);
+  EXPECT_EQ(HourOfDay(-kDay), 0);
+  for (SimTime t = -2 * kDay; t <= 2 * kDay; t += 97) {
+    int h = HourOfDay(t);
+    EXPECT_GE(h, 0) << "t=" << t;
+    EXPECT_LT(h, 24) << "t=" << t;
+    EXPECT_EQ(HourOfDay(t + kDay), h) << "t=" << t;  // 24h-periodic everywhere
+  }
+}
+
+TEST(SimTimeTest, DayOfWeekPositive) {
+  EXPECT_EQ(DayOfWeek(0), 0);
+  EXPECT_EQ(DayOfWeek(6 * kDay), 6);
+  EXPECT_EQ(DayOfWeek(7 * kDay), 0);
+}
+
+TEST(SimTimeTest, DayOfWeekNegativeWrapsBackward) {
+  // The day before day 0 (a Monday) is a Sunday: day 6, a weekend.
+  EXPECT_EQ(DayOfWeek(-1), 6);
+  EXPECT_TRUE(IsWeekend(-1));
+  EXPECT_EQ(DayOfWeek(-kDay), 6);
+  EXPECT_EQ(DayOfWeek(-kDay - 1), 5);
+  EXPECT_EQ(DayOfWeek(-kWeek), 0);
+  for (SimTime t = -2 * kWeek; t <= 2 * kWeek; t += 4001) {
+    int d = DayOfWeek(t);
+    EXPECT_GE(d, 0) << "t=" << t;
+    EXPECT_LT(d, 7) << "t=" << t;
+    EXPECT_EQ(DayOfWeek(t + kWeek), d) << "t=" << t;  // 7d-periodic everywhere
+  }
+}
+
+}  // namespace
+}  // namespace rc

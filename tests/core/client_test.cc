@@ -264,6 +264,57 @@ TEST_F(ClientTest, PredictManyMatchesSingles) {
   EXPECT_EQ(results[0].bucket, client.PredictSingle("VM_AVGUTIL", batch[0]).bucket);
 }
 
+// Regression: a batch of identical inputs used to featurize and score every
+// duplicate row and re-insert the same result-cache entry N times. Duplicate
+// keys must collapse to one model execution, fanned out to every row.
+TEST_F(ClientTest, PredictManyDeduplicatesIdenticalInputs) {
+  Client client(store_.get(), ClientConfig{});
+  ASSERT_TRUE(client.Initialize());
+  std::vector<ClientInputs> batch(16, KnownInputs());
+  auto results = client.PredictMany("VM_AVGUTIL", batch);
+  ASSERT_EQ(results.size(), batch.size());
+  for (const Prediction& p : results) {
+    ASSERT_TRUE(p.valid);
+    EXPECT_EQ(p.bucket, results[0].bucket);
+    EXPECT_EQ(p.score, results[0].score);
+  }
+  auto stats = client.stats();
+  EXPECT_EQ(stats.model_executions, 1u);
+  EXPECT_EQ(stats.result_misses, batch.size());  // every probe missed...
+  EXPECT_EQ(stats.result_hits, 0u);              // ...before the single execute
+  // The cached entry serves the whole batch on repeat.
+  client.PredictMany("VM_AVGUTIL", batch);
+  stats = client.stats();
+  EXPECT_EQ(stats.model_executions, 1u);
+  EXPECT_EQ(stats.result_hits, batch.size());
+}
+
+// Mixed batch: duplicates of two distinct keys -> exactly two executions,
+// and each row gets the prediction for its own key.
+TEST_F(ClientTest, PredictManyDeduplicatesMixedBatch) {
+  Client client(store_.get(), ClientConfig{});
+  ASSERT_TRUE(client.Initialize());
+  ClientInputs a = KnownInputs();
+  ClientInputs b = a;
+  b.deploy_hour = (b.deploy_hour + 1) % 24;
+  std::vector<ClientInputs> batch = {a, b, a, b, a, a};
+  auto results = client.PredictMany("VM_AVGUTIL", batch);
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_EQ(client.stats().model_executions, 2u);
+  Prediction pa = client.PredictSingle("VM_AVGUTIL", a);
+  Prediction pb = client.PredictSingle("VM_AVGUTIL", b);
+  for (size_t i : {0u, 2u, 4u, 5u}) {
+    EXPECT_EQ(results[i].bucket, pa.bucket) << "row " << i;
+    EXPECT_EQ(results[i].score, pa.score) << "row " << i;
+  }
+  for (size_t i : {1u, 3u}) {
+    EXPECT_EQ(results[i].bucket, pb.bucket) << "row " << i;
+    EXPECT_EQ(results[i].score, pb.score) << "row " << i;
+  }
+  // The singles above were cache hits, not new executions.
+  EXPECT_EQ(client.stats().model_executions, 2u);
+}
+
 TEST_F(ClientTest, ResultCacheCapacityBounded) {
   ClientConfig config;
   config.result_cache_capacity = 8;

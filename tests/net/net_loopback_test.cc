@@ -1,0 +1,297 @@
+// Loopback integration for the prediction service: server + pooled client
+// round-trips for every opcode, wire results matching in-process results,
+// hot model republish under concurrent network clients (no dropped
+// connections), deadline expiry, and reconnect-with-backoff through the
+// rc::faults sites.
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/faults.h"
+#include "src/core/client.h"
+#include "src/core/offline_pipeline.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/store/kv_store.h"
+#include "src/trace/workload_model.h"
+
+namespace rc::net {
+namespace {
+
+using rc::core::ClientInputs;
+using rc::core::OfflinePipeline;
+using rc::core::PipelineConfig;
+using rc::core::TrainedModels;
+using rc::store::KvStore;
+using rc::trace::Trace;
+using rc::trace::WorkloadConfig;
+using rc::trace::WorkloadModel;
+
+class NetLoopbackTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkloadConfig config;
+    config.target_vm_count = 3000;
+    config.num_subscriptions = 150;
+    config.seed = 1234;
+    trace_ = new Trace(WorkloadModel(config).Generate());
+    PipelineConfig pipeline_config;
+    pipeline_config.rf.num_trees = 8;
+    pipeline_config.gbt.num_rounds = 8;
+    OfflinePipeline pipeline(pipeline_config);
+    trained_ = new TrainedModels(pipeline.Run(*trace_));
+  }
+
+  void SetUp() override {
+    store_ = std::make_unique<KvStore>();
+    OfflinePipeline::Publish(*trained_, *store_);
+    core_client_ = std::make_unique<rc::core::Client>(store_.get(), rc::core::ClientConfig{});
+    ASSERT_TRUE(core_client_->Initialize());
+    ServerConfig server_config;
+    server_config.num_workers = 2;
+    server_ = std::make_unique<Server>(core_client_.get(), server_config);
+    ASSERT_TRUE(server_->Start());
+  }
+
+  void TearDown() override {
+    rc::faults::Registry::Global().DisarmAll();
+    server_.reset();
+    core_client_.reset();
+    store_.reset();
+  }
+
+  ClientConfig PoolConfig(int pool_size = 2) const {
+    ClientConfig config;
+    config.port = server_->port();
+    config.pool_size = pool_size;
+    config.default_deadline_us = 2'000'000;  // generous for sanitizer builds
+    return config;
+  }
+
+  ClientInputs KnownInputs() const {
+    static const rc::trace::VmSizeCatalog catalog;
+    for (const auto& vm : trace_->vms()) {
+      if (trained_->feature_data.contains(vm.subscription_id)) {
+        return rc::core::InputsFromVm(vm, catalog);
+      }
+    }
+    ADD_FAILURE() << "no known subscription";
+    return {};
+  }
+
+  static const Trace* trace_;
+  static const TrainedModels* trained_;
+  std::unique_ptr<KvStore> store_;
+  std::unique_ptr<rc::core::Client> core_client_;
+  std::unique_ptr<Server> server_;
+};
+
+const Trace* NetLoopbackTest::trace_ = nullptr;
+const TrainedModels* NetLoopbackTest::trained_ = nullptr;
+
+TEST_F(NetLoopbackTest, PredictSingleMatchesInProcess) {
+  Client client(PoolConfig());
+  ClientInputs inputs = KnownInputs();
+  core::Prediction over_wire;
+  ASSERT_EQ(client.PredictSingle("VM_P95UTIL", inputs, &over_wire), Status::kOk);
+  core::Prediction local = core_client_->PredictSingle("VM_P95UTIL", inputs);
+  EXPECT_EQ(over_wire.valid, local.valid);
+  EXPECT_EQ(over_wire.bucket, local.bucket);
+  EXPECT_DOUBLE_EQ(over_wire.score, local.score);
+}
+
+TEST_F(NetLoopbackTest, PredictSingleUnknownModelIsNoPrediction) {
+  Client client(PoolConfig());
+  core::Prediction p;
+  ASSERT_EQ(client.PredictSingle("NO_SUCH_MODEL", KnownInputs(), &p), Status::kOk);
+  EXPECT_FALSE(p.valid);
+}
+
+TEST_F(NetLoopbackTest, PredictManyMatchesSingles) {
+  Client client(PoolConfig());
+  ClientInputs base = KnownInputs();
+  std::vector<ClientInputs> batch;
+  for (int i = 0; i < 8; ++i) {
+    ClientInputs in = base;
+    in.deploy_hour = i;
+    batch.push_back(in);
+  }
+  batch.push_back(base);  // duplicate of an earlier key once hours collide
+  std::vector<core::Prediction> many;
+  ASSERT_EQ(client.PredictMany("VM_AVGUTIL", batch, &many), Status::kOk);
+  ASSERT_EQ(many.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    core::Prediction single;
+    ASSERT_EQ(client.PredictSingle("VM_AVGUTIL", batch[i], &single), Status::kOk);
+    EXPECT_EQ(many[i].valid, single.valid) << "row " << i;
+    EXPECT_EQ(many[i].bucket, single.bucket) << "row " << i;
+  }
+}
+
+TEST_F(NetLoopbackTest, EmptyBatchRoundTrips) {
+  Client client(PoolConfig());
+  std::vector<core::Prediction> many;
+  ASSERT_EQ(client.PredictMany("VM_AVGUTIL", {}, &many), Status::kOk);
+  EXPECT_TRUE(many.empty());
+}
+
+TEST_F(NetLoopbackTest, HealthReportsServerState) {
+  Client client(PoolConfig());
+  core::Prediction p;
+  ASSERT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kOk);
+  HealthResponse health;
+  ASSERT_EQ(client.Health(&health), Status::kOk);
+  EXPECT_EQ(health.num_models, 6u);
+  EXPECT_GE(health.requests, 1u);
+  EXPECT_GE(health.predictions, 1u);
+  EXPECT_EQ(health.protocol_errors, 0u);
+  EXPECT_GE(health.active_connections, 1u);
+}
+
+TEST_F(NetLoopbackTest, ServerMetricsExported) {
+  Client client(PoolConfig());
+  core::Prediction p;
+  ASSERT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kOk);
+  auto snapshot = server_->metrics().Collect();
+  bool saw_requests = false;
+  for (const auto& counter : snapshot.counters) {
+    if (counter.info.name == "rc_net_requests") {
+      saw_requests = true;
+      EXPECT_GE(counter.value, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_requests);
+}
+
+// The paper's hot-swap requirement carried over the network: republish the
+// models (new versions pushed through the store) while network clients
+// hammer the server. Every request must succeed and no connection may drop.
+TEST_F(NetLoopbackTest, ConcurrentClientsDuringRepublish) {
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 150;
+  std::atomic<int> failures{0};
+  std::atomic<bool> start{false};
+  Client client(PoolConfig(kThreads));
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  ClientInputs base = KnownInputs();
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        ClientInputs in = base;
+        in.deploy_hour = (t * kRequestsPerThread + i) % 24;
+        in.deploy_dow = i % 7;
+        core::Prediction p;
+        if (client.PredictSingle("VM_AVGUTIL", in, &p) != Status::kOk) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  // Republish the full model set twice mid-storm: clients hot-swap state.
+  for (int round = 0; round < 2; ++round) {
+    OfflinePipeline::Publish(*trained_, *store_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // No reconnects beyond the initial pool connects: nothing dropped.
+  auto snapshot = client.metrics().Collect();
+  for (const auto& counter : snapshot.counters) {
+    if (counter.info.name == "rc_net_client_reconnects") {
+      EXPECT_LE(counter.value, static_cast<uint64_t>(kThreads));
+    }
+    if (counter.info.name == "rc_net_client_errors") {
+      EXPECT_EQ(counter.value, 0u);
+    }
+  }
+}
+
+// A server stalled past the caller's deadline: the call returns kTimeout
+// (not a hang, not a crash), and the pool recovers for the next request.
+TEST_F(NetLoopbackTest, DeadlineExpiryReturnsTimeout) {
+  Client client(PoolConfig(1));
+  {
+    rc::faults::FaultSpec spec;
+    spec.kind = rc::faults::FaultKind::kLatency;
+    spec.latency_us = 300'000;  // well past the 20ms deadline below
+    spec.max_fires = 1;
+    rc::faults::ScopedFault fault("net/handle", spec);
+    core::Prediction p;
+    EXPECT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p, /*deadline_us=*/20'000),
+              Status::kTimeout);
+  }
+  // The timed-out connection was abandoned; the pool reconnects and serves.
+  core::Prediction p;
+  EXPECT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kOk);
+  EXPECT_TRUE(p.valid);
+}
+
+// First connect attempts fail (injected at the "net/connect" site): the
+// client retries with backoff inside the same call and still succeeds.
+TEST_F(NetLoopbackTest, ReconnectWithBackoffThroughFaultSite) {
+  ClientConfig config = PoolConfig(1);
+  config.max_connect_attempts = 4;
+  config.reconnect_backoff_us = 500;
+  Client client(config);
+  rc::faults::FaultSpec spec;
+  spec.kind = rc::faults::FaultKind::kError;
+  spec.max_fires = 2;  // fail the first two attempts, then connect cleanly
+  rc::faults::ScopedFault fault("net/connect", spec);
+  core::Prediction p;
+  EXPECT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kOk);
+  EXPECT_TRUE(p.valid);
+  EXPECT_EQ(rc::faults::Registry::Global().fires("net/connect"), 2u);
+}
+
+// Exhausted connect attempts surface as kConnectFailed, never a hang.
+TEST_F(NetLoopbackTest, ConnectFailureAfterExhaustedBackoff) {
+  ClientConfig config = PoolConfig(1);
+  config.max_connect_attempts = 2;
+  config.reconnect_backoff_us = 200;
+  Client client(config);
+  rc::faults::FaultSpec spec;
+  spec.kind = rc::faults::FaultKind::kError;
+  rc::faults::ScopedFault fault("net/connect", spec);  // every attempt fails
+  core::Prediction p;
+  EXPECT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kConnectFailed);
+}
+
+// Send/recv faults mark the connection dead; the next call reconnects.
+TEST_F(NetLoopbackTest, RecvFaultClosesAndRecovers) {
+  Client client(PoolConfig(1));
+  core::Prediction p;
+  ASSERT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kOk);
+  {
+    rc::faults::FaultSpec spec;
+    spec.kind = rc::faults::FaultKind::kError;
+    spec.max_fires = 1;
+    rc::faults::ScopedFault fault("net/recv", spec);
+    EXPECT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kRecvFailed);
+  }
+  EXPECT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kOk);
+}
+
+// Stopping the server with live pooled connections: in-flight and follow-up
+// requests fail with a clean status; restarting serving requires a new
+// server (the client object itself stays usable).
+TEST_F(NetLoopbackTest, ServerStopFailsRequestsCleanly) {
+  ClientConfig config = PoolConfig(1);
+  config.default_deadline_us = 200'000;
+  config.max_connect_attempts = 1;
+  Client client(config);
+  core::Prediction p;
+  ASSERT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kOk);
+  server_->Stop();
+  Status status = client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p);
+  EXPECT_NE(status, Status::kOk);
+}
+
+}  // namespace
+}  // namespace rc::net

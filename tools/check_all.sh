@@ -45,6 +45,28 @@ for family in "${REQUIRED_FAMILIES[@]}"; do
 done
 echo "all ${#REQUIRED_FAMILIES[@]} required metric families present."
 
+echo "== network service smoke check =="
+NET_EXPO="$("${BUILD_DIR}/tools/rc_server" --smoke --vms 3000 2>/dev/null)"
+NET_FAMILIES=(
+  rc_net_connections_accepted
+  rc_net_connections_active
+  rc_net_requests
+  rc_net_predictions
+  rc_net_protocol_errors
+  rc_net_bytes_read
+  rc_net_bytes_written
+  rc_net_request_latency_us
+  rc_net_client_requests
+  rc_net_client_request_latency_us
+)
+for family in "${NET_FAMILIES[@]}"; do
+  if ! grep -q "^${family}" <<<"${NET_EXPO}"; then
+    echo "FAIL: metric family '${family}' missing from rc_server --smoke exposition" >&2
+    exit 1
+  fi
+done
+echo "all ${#NET_FAMILIES[@]} required rc_net_* metric families present."
+
 if [[ "${RC_SKIP_SANITIZERS:-0}" != "1" ]]; then
   echo "== TSan =="
   "${REPO_ROOT}/tools/check_tsan.sh"

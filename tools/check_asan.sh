@@ -16,12 +16,12 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRC_SANITIZE=address
 cmake --build "${BUILD_DIR}" -j"$(nproc)" \
-  --target rc_common_tests rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests
+  --target rc_common_tests rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests rc_net_tests
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 
-for t in rc_common_tests rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests; do
+for t in rc_common_tests rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests rc_net_tests; do
   echo "== ${t} (ASan+UBSan) =="
   "${BUILD_DIR}/tests/${t}" "$@"
 done

@@ -12,7 +12,7 @@ BUILD_DIR="${RC_TSAN_BUILD_DIR:-${REPO_ROOT}/build-tsan}"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRC_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j"$(nproc)" --target rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests
+cmake --build "${BUILD_DIR}" -j"$(nproc)" --target rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests rc_net_tests
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
@@ -24,4 +24,6 @@ echo "== rc_store_tests (TSan) =="
 "${BUILD_DIR}/tests/rc_store_tests" "$@"
 echo "== rc_core_tests (TSan) =="
 "${BUILD_DIR}/tests/rc_core_tests" "$@"
+echo "== rc_net_tests (TSan) =="
+"${BUILD_DIR}/tests/rc_net_tests" "$@"
 echo "TSan check passed: no data races reported."

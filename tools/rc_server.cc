@@ -1,0 +1,183 @@
+// rc_server: the Resource Central prediction service as a runnable daemon.
+// Trains the six models (from a synthetic workload by default, or a trace
+// CSV produced by rc_trace_gen), publishes them to the in-process store,
+// and serves PredictSingle / PredictMany / Health over the rc::net framed
+// TCP protocol until SIGINT/SIGTERM.
+//
+//   rc_server --port 7071 --workers 4
+//   rc_server --trace trace.csv --train-days 60
+//   rc_server --smoke        # self-drive a few requests, dump metrics, exit
+//
+// The server's rc_net_* instruments and the embedded client's rc_client_*
+// instruments share one registry; the full Prometheus exposition is dumped
+// on exit (and in --smoke mode this is the primary output, which
+// tools/check_all.sh greps for the required metric families).
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "src/core/client.h"
+#include "src/core/offline_pipeline.h"
+#include "src/net/client.h"
+#include "src/net/server.h"
+#include "src/obs/export.h"
+#include "src/store/kv_store.h"
+#include "src/trace/trace_io.h"
+#include "src/trace/workload_model.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+void Usage() {
+  std::cerr <<
+      "usage: rc_server [options]\n"
+      "  --port P        listen port (default 7071; 0 = ephemeral)\n"
+      "  --workers N     epoll worker threads (default 4)\n"
+      "  --vms N         synthetic workload size when no trace given (default 20000)\n"
+      "  --trace PATH    train from a trace CSV instead of the synthetic workload\n"
+      "  --days D        trace observation window in days (default 90)\n"
+      "  --train-days T  training window in days (default 2/3 of --days)\n"
+      "  --smoke         serve, self-issue a few requests, dump metrics, exit\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 7071;
+  int workers = 4;
+  int64_t vms = 20'000;
+  int days = 90, train_days = -1;
+  std::string trace_path;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = std::atoi(need("--port"));
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      workers = std::atoi(need("--workers"));
+    } else if (std::strcmp(argv[i], "--vms") == 0) {
+      vms = std::atoll(need("--vms"));
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = need("--trace");
+    } else if (std::strcmp(argv[i], "--days") == 0) {
+      days = std::atoi(need("--days"));
+    } else if (std::strcmp(argv[i], "--train-days") == 0) {
+      train_days = std::atoi(need("--train-days"));
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      Usage();
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+  }
+  if (train_days < 0) train_days = days * 2 / 3;
+
+  rc::trace::Trace trace = [&] {
+    if (!trace_path.empty()) {
+      std::cerr << "loading " << trace_path << "...\n";
+      return rc::trace::ReadVmTableFile(trace_path,
+                                        static_cast<rc::SimDuration>(days) * rc::kDay);
+    }
+    rc::trace::WorkloadConfig workload;
+    workload.target_vm_count = vms;
+    workload.num_subscriptions = std::max<int64_t>(vms / 25, 10);
+    workload.seed = 7;
+    return rc::trace::WorkloadModel(workload).Generate();
+  }();
+  std::cerr << "training on " << trace.vm_count() << " VMs (days 0-" << train_days << ")...\n";
+
+  rc::core::PipelineConfig pipeline_config;
+  pipeline_config.train_end = static_cast<rc::SimTime>(train_days) * rc::kDay;
+  if (smoke) {  // smoke mode favours startup time over model quality
+    pipeline_config.rf.num_trees = 8;
+    pipeline_config.gbt.num_rounds = 8;
+  }
+  rc::core::OfflinePipeline pipeline(pipeline_config);
+  rc::core::TrainedModels trained = pipeline.Run(trace);
+  rc::store::KvStore store;
+  rc::core::OfflinePipeline::Publish(trained, store);
+
+  // One registry for the whole process: rc_client_* (embedded prediction
+  // client) and rc_net_* (server) families in a single exposition.
+  rc::obs::MetricsRegistry registry;
+  rc::core::ClientConfig client_config;
+  client_config.metrics = &registry;
+  rc::core::Client client(&store, client_config);
+  if (!client.Initialize()) {
+    std::cerr << "client initialization failed\n";
+    return 1;
+  }
+
+  rc::net::ServerConfig server_config;
+  server_config.port = static_cast<uint16_t>(smoke ? 0 : port);
+  server_config.num_workers = workers;
+  server_config.metrics = &registry;
+  rc::net::Server server(&client, server_config);
+  if (!server.Start()) {
+    std::cerr << "failed to bind 127.0.0.1:" << port << "\n";
+    return 1;
+  }
+  std::cerr << "rc_server listening on 127.0.0.1:" << server.port() << " with " << workers
+            << " workers, " << trained.models.size() << " models\n";
+
+  if (smoke) {
+    // Self-drive: one of every opcode through the pooled client, then dump
+    // the exposition for the CI grep.
+    rc::net::ClientConfig pool_config;
+    pool_config.port = server.port();
+    pool_config.pool_size = 2;
+    pool_config.metrics = &registry;
+    rc::net::Client pool(pool_config);
+    static const rc::trace::VmSizeCatalog catalog;
+    rc::core::ClientInputs inputs;
+    for (const auto& vm : trace.vms()) {
+      if (trained.feature_data.contains(vm.subscription_id)) {
+        inputs = rc::core::InputsFromVm(vm, catalog);
+        break;
+      }
+    }
+    rc::core::Prediction p;
+    if (pool.PredictSingle("VM_AVGUTIL", inputs, &p) != rc::net::Status::kOk) {
+      std::cerr << "smoke PredictSingle failed\n";
+      return 1;
+    }
+    std::vector<rc::core::ClientInputs> batch(8, inputs);
+    for (int i = 0; i < 8; ++i) batch[static_cast<size_t>(i)].deploy_hour = i;
+    std::vector<rc::core::Prediction> many;
+    if (pool.PredictMany("VM_P95UTIL", batch, &many) != rc::net::Status::kOk ||
+        many.size() != batch.size()) {
+      std::cerr << "smoke PredictMany failed\n";
+      return 1;
+    }
+    rc::net::HealthResponse health;
+    if (pool.Health(&health) != rc::net::Status::kOk || health.num_models != 6) {
+      std::cerr << "smoke Health failed\n";
+      return 1;
+    }
+    server.Stop();
+    std::cout << rc::obs::PrometheusText(registry);
+    std::cerr << "smoke ok: " << health.requests << " requests, " << health.predictions
+              << " predictions\n";
+    return 0;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  std::cerr << "shutting down...\n";
+  server.Stop();
+  std::cout << rc::obs::PrometheusText(registry);
+  return 0;
+}
