@@ -11,8 +11,18 @@
 // way distinct fabric controllers would. Results are aggregated over pipes
 // and written to BENCH_net.json.
 //
+// --combiner off|shared|worker selects the server's cross-request batching
+// mode (DESIGN.md "Cross-request batching"); --compare runs the same load
+// twice — combiner off, then the selected mode — against one trained model
+// set and reports the throughput speedup. The combiner acceptance runs with
+// --cache off --keys 1 --many-ratio 0: a single hot key, no result cache,
+// all singles, so every request reaches the execution engine and coalescing
+// is the only thing being measured.
+//
 // Acceptance (ISSUE): >= 50k predictions/s sustained on loopback with
-// PredictSingle P99 within the Fig. 10 in-process budget (258 us) + 1 ms.
+// PredictSingle P99 within the Fig. 10 in-process budget (258 us) + 1 ms;
+// in --compare mode additionally combiner-on >= 1.5x combiner-off
+// predictions/s with the combiner-on P99 still inside that budget.
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -23,6 +33,7 @@
 #include <cstring>
 #include <iostream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +54,7 @@ constexpr const char* kBenchJson = "BENCH_net.json";
 // Fig. 10 paper anchor: in-process P99s top out at 258 us; the network hop
 // is allowed one extra millisecond.
 constexpr double kP99BudgetUs = 258.0 + 1000.0;
+constexpr double kCombinerSpeedupFloor = 1.5;
 
 struct Options {
   int64_t vms = 30'000;
@@ -54,6 +66,23 @@ struct Options {
   double zipf_s = 0.99;   // Zipf exponent for key popularity
   double many_ratio = 0.25;  // fraction of requests that are PredictMany
   size_t batch = 16;      // PredictMany batch size
+  int models = 2;         // distinct models driven by the load (1 or 2)
+  rc::net::CombinerMode combiner = rc::net::CombinerMode::kOff;
+  int64_t combiner_wait_us = 40;
+  // Fast-path-when-idle serves a lone request immediately (best P50 when
+  // arrivals rarely overlap). Off forces every request to park for the
+  // window: on a single-CPU host the scheduler serializes workers, so this
+  // is the only way coalescing opportunities accumulate (the acceptance
+  // scenario runs with it off).
+  bool combiner_fast_path = true;
+  size_t combiner_max_batch = 64;  // flush-on-full threshold
+  bool cache = true;      // server-side result cache (off isolates execution)
+  bool compare = false;   // run combiner-off then --combiner mode, same load
+  // Ensemble size overrides (0 = bench defaults). The combiner acceptance
+  // uses large forests so execution dominates the request path — that is the
+  // regime where coalescing duplicate work is supposed to pay.
+  int trees = 0;
+  int gbt_rounds = 0;
 };
 
 // Zipf(s) over [0, n) via the precomputed CDF: fine for working sets up to
@@ -147,12 +176,13 @@ bool RecvResult(int fd, LoadResult* r) {
 // epoll server. Reports the ephemeral port over `port_fd`, then idles until
 // SIGTERM.
 [[noreturn]] void RunServer(const rc::core::TrainedModels& trained, const Options& opt,
-                            int port_fd) {
+                            rc::net::CombinerMode mode, int port_fd) {
   rc::store::KvStore store;
   rc::core::OfflinePipeline::Publish(trained, store);
   rc::obs::MetricsRegistry registry;
   rc::core::ClientConfig client_config;
   client_config.metrics = &registry;
+  if (!opt.cache) client_config.result_cache_capacity = 0;
   rc::core::Client client(&store, client_config);
   if (!client.Initialize()) _exit(4);
 
@@ -160,6 +190,10 @@ bool RecvResult(int fd, LoadResult* r) {
   server_config.port = 0;
   server_config.num_workers = opt.workers;
   server_config.metrics = &registry;
+  server_config.combiner_mode = mode;
+  server_config.combiner_max_wait_us = opt.combiner_wait_us;
+  server_config.combiner_fast_path_when_idle = opt.combiner_fast_path;
+  server_config.combiner_max_batch = opt.combiner_max_batch;
   rc::net::Server server(&client, server_config);
   if (!server.Start()) _exit(5);
 
@@ -171,6 +205,16 @@ bool RecvResult(int fd, LoadResult* r) {
   std::signal(SIGTERM, [](int) { stop = 1; });
   while (stop == 0) std::this_thread::sleep_for(std::chrono::milliseconds(50));
   server.Stop();
+  if (mode != rc::net::CombinerMode::kOff) {
+    // Surface the coalescing instruments so a run's batch-size distribution
+    // and flush reasons are inspectable without re-plumbing the registry.
+    std::string text = rc::obs::PrometheusText(registry);
+    std::istringstream lines(text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.find("rc_combiner_") != std::string::npos) std::cerr << line << "\n";
+    }
+  }
   _exit(0);
 }
 
@@ -200,7 +244,10 @@ bool RecvResult(int fd, LoadResult* r) {
       const char* models[2] = {"VM_AVGUTIL", "VM_P95UTIL"};
       const auto start = std::chrono::steady_clock::now();
       while (std::chrono::steady_clock::now() < deadline) {
-        const std::string model = models[rng() % 2];
+        // --models 1 drives every request at one model (the combiner queues
+        // per model, so this is the maximally-coalescible single-key load);
+        // --models 2 splits the stream across two models.
+        const std::string model = models[opt.models == 1 ? 1 : rng() % 2];
         const auto t0 = std::chrono::steady_clock::now();
         rc::net::Status status;
         bool is_many = coin(rng) < opt.many_ratio;
@@ -249,81 +296,59 @@ bool RecvResult(int fd, LoadResult* r) {
   _exit(0);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  Options opt;
-  for (int i = 1; i < argc; ++i) {
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << argv[i] << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--vms") == 0) opt.vms = std::atoll(next());
-    else if (std::strcmp(argv[i], "--procs") == 0) opt.procs = std::atoi(next());
-    else if (std::strcmp(argv[i], "--threads") == 0) opt.threads = std::atoi(next());
-    else if (std::strcmp(argv[i], "--workers") == 0) opt.workers = std::atoi(next());
-    else if (std::strcmp(argv[i], "--duration-s") == 0) opt.duration_s = std::atoi(next());
-    else if (std::strcmp(argv[i], "--keys") == 0) opt.keys = static_cast<size_t>(std::atoll(next()));
-    else if (std::strcmp(argv[i], "--zipf") == 0) opt.zipf_s = std::atof(next());
-    else if (std::strcmp(argv[i], "--many-ratio") == 0) opt.many_ratio = std::atof(next());
-    else if (std::strcmp(argv[i], "--batch") == 0) opt.batch = static_cast<size_t>(std::atoll(next()));
-    else {
-      std::cerr << "usage: perf_net [--vms N] [--procs L] [--threads T] [--workers W]\n"
-                   "                [--duration-s S] [--keys K] [--zipf S] [--many-ratio R]\n"
-                   "                [--batch B]\n";
-      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
-    }
+const char* ModeName(rc::net::CombinerMode mode) {
+  switch (mode) {
+    case rc::net::CombinerMode::kOff: return "off";
+    case rc::net::CombinerMode::kShared: return "shared";
+    case rc::net::CombinerMode::kPerWorker: return "worker";
   }
+  return "?";
+}
 
-  rc::bench::Banner("rc::net service: closed-loop loopback load",
-                    "Fig. 10 budget + 1 ms over TCP");
+// One aggregated measurement: the end-of-run numbers from a full
+// server + load-fleet lifecycle.
+struct RunSummary {
+  bool ok = false;
+  double requests_per_s = 0.0;
+  double predictions_per_s = 0.0;
+  double p50_single = 0.0;
+  double p99_single = 0.0;
+  double p99_many = 0.0;
+  uint64_t errors = 0;
+};
 
-  // Train once, single-threaded, BEFORE any fork: children inherit the
-  // trained models and the working set by copy-on-write.
-  std::cout << "training on " << opt.vms << " VMs...\n";
-  rc::trace::Trace trace = rc::bench::CharacterizationTrace(opt.vms, /*seed=*/1234);
-  rc::core::OfflinePipeline pipeline(rc::bench::DefaultPipelineConfig());
-  rc::core::TrainedModels trained = pipeline.Run(trace);
-
-  static const rc::trace::VmSizeCatalog catalog;
-  std::vector<rc::core::ClientInputs> keys;
-  keys.reserve(opt.keys);
-  for (const auto& vm : trace.vms()) {
-    if (keys.size() >= opt.keys) break;
-    if (!trained.feature_data.contains(vm.subscription_id)) continue;
-    keys.push_back(rc::core::InputsFromVm(vm, catalog));
-  }
-  if (keys.empty()) {
-    std::cerr << "no usable inputs in the trace\n";
-    return 1;
-  }
-
+// Forks the server (in `mode`) and the load fleet, drives the configured
+// duration, and aggregates every process's results.
+RunSummary RunOnce(const rc::core::TrainedModels& trained,
+                   const std::vector<rc::core::ClientInputs>& keys, const Options& opt,
+                   rc::net::CombinerMode mode) {
+  RunSummary summary;
   int port_pipe[2];
-  if (pipe(port_pipe) != 0) return 1;
+  if (pipe(port_pipe) != 0) return summary;
   pid_t server_pid = fork();
   if (server_pid == 0) {
     close(port_pipe[0]);
-    RunServer(trained, opt, port_pipe[1]);
+    RunServer(trained, opt, mode, port_pipe[1]);
   }
   close(port_pipe[1]);
   uint16_t port = 0;
   if (!ReadAll(port_pipe[0], &port, sizeof(port))) {
     std::cerr << "server child failed to start\n";
-    return 1;
+    close(port_pipe[0]);
+    return summary;
   }
   close(port_pipe[0]);
-  std::cout << "server up on 127.0.0.1:" << port << " (" << opt.workers << " workers); driving "
-            << opt.procs << " procs x " << opt.threads << " threads, zipf(" << opt.zipf_s
-            << ") over " << keys.size() << " keys, " << opt.duration_s << "s...\n";
+  std::cout << "server up on 127.0.0.1:" << port << " (" << opt.workers
+            << " workers, combiner " << ModeName(mode) << ", cache "
+            << (opt.cache ? "on" : "off") << "); driving " << opt.procs << " procs x "
+            << opt.threads << " threads, zipf(" << opt.zipf_s << ") over " << keys.size()
+            << " keys, " << opt.duration_s << "s...\n";
 
   std::vector<pid_t> load_pids;
   std::vector<int> result_fds;
   for (int p = 0; p < opt.procs; ++p) {
     int result_pipe[2];
-    if (pipe(result_pipe) != 0) return 1;
+    if (pipe(result_pipe) != 0) return summary;
     pid_t pid = fork();
     if (pid == 0) {
       close(result_pipe[0]);
@@ -358,45 +383,190 @@ int main(int argc, char** argv) {
   waitpid(server_pid, nullptr, 0);
   if (failures > 0 || total.elapsed_s <= 0.0) {
     std::cerr << failures << " load processes failed\n";
-    return 1;
+    return summary;
   }
 
   std::sort(total.single_us.begin(), total.single_us.end());
   std::sort(total.many_us.begin(), total.many_us.end());
-  const double requests_per_s =
+  summary.ok = true;
+  summary.requests_per_s =
       static_cast<double>(total.single_requests + total.many_requests) / total.elapsed_s;
-  const double predictions_per_s = static_cast<double>(total.predictions) / total.elapsed_s;
-  const double p50_single = rc::PercentileSorted(total.single_us, 50.0);
-  const double p99_single = rc::PercentileSorted(total.single_us, 99.0);
-  const double p99_many = total.many_us.empty() ? 0.0 : rc::PercentileSorted(total.many_us, 99.0);
+  summary.predictions_per_s = static_cast<double>(total.predictions) / total.elapsed_s;
+  summary.p50_single = rc::PercentileSorted(total.single_us, 50.0);
+  summary.p99_single = rc::PercentileSorted(total.single_us, 99.0);
+  summary.p99_many = total.many_us.empty() ? 0.0 : rc::PercentileSorted(total.many_us, 99.0);
+  summary.errors = total.errors;
+  return summary;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << argv[i] << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--vms") == 0) opt.vms = std::atoll(next());
+    else if (std::strcmp(argv[i], "--procs") == 0) opt.procs = std::atoi(next());
+    else if (std::strcmp(argv[i], "--threads") == 0) opt.threads = std::atoi(next());
+    else if (std::strcmp(argv[i], "--workers") == 0) opt.workers = std::atoi(next());
+    else if (std::strcmp(argv[i], "--duration-s") == 0) opt.duration_s = std::atoi(next());
+    else if (std::strcmp(argv[i], "--keys") == 0) opt.keys = static_cast<size_t>(std::atoll(next()));
+    else if (std::strcmp(argv[i], "--zipf") == 0) opt.zipf_s = std::atof(next());
+    else if (std::strcmp(argv[i], "--many-ratio") == 0) opt.many_ratio = std::atof(next());
+    else if (std::strcmp(argv[i], "--batch") == 0) opt.batch = static_cast<size_t>(std::atoll(next()));
+    else if (std::strcmp(argv[i], "--models") == 0) opt.models = std::atoi(next());
+    else if (std::strcmp(argv[i], "--combiner") == 0) {
+      std::string mode = next();
+      if (mode == "off") opt.combiner = rc::net::CombinerMode::kOff;
+      else if (mode == "shared") opt.combiner = rc::net::CombinerMode::kShared;
+      else if (mode == "worker") opt.combiner = rc::net::CombinerMode::kPerWorker;
+      else {
+        std::cerr << "--combiner must be off, shared, or worker\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--combiner-wait-us") == 0) {
+      opt.combiner_wait_us = std::atoll(next());
+    } else if (std::strcmp(argv[i], "--combiner-max-batch") == 0) {
+      opt.combiner_max_batch = static_cast<size_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--combiner-fast-path") == 0) {
+      std::string v = next();
+      if (v == "on") opt.combiner_fast_path = true;
+      else if (v == "off") opt.combiner_fast_path = false;
+      else {
+        std::cerr << "--combiner-fast-path must be on or off\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      std::string v = next();
+      if (v == "on") opt.cache = true;
+      else if (v == "off") opt.cache = false;
+      else {
+        std::cerr << "--cache must be on or off\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--compare") == 0) {
+      opt.compare = true;
+    } else if (std::strcmp(argv[i], "--trees") == 0) {
+      opt.trees = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--gbt-rounds") == 0) {
+      opt.gbt_rounds = std::atoi(next());
+    } else {
+      std::cerr << "usage: perf_net [--vms N] [--procs L] [--threads T] [--workers W]\n"
+                   "                [--duration-s S] [--keys K] [--zipf S] [--many-ratio R]\n"
+                   "                [--batch B] [--models 1|2] [--combiner off|shared|worker]\n"
+                   "                [--combiner-wait-us U] [--cache on|off] [--compare]\n"
+                   "                [--trees N] [--gbt-rounds N]\n";
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+  }
+  if (opt.compare && opt.combiner == rc::net::CombinerMode::kOff) {
+    opt.combiner = rc::net::CombinerMode::kShared;  // compare needs an "on" arm
+  }
+
+  rc::bench::Banner("rc::net service: closed-loop loopback load",
+                    "Fig. 10 budget + 1 ms over TCP");
+
+  // Train once, single-threaded, BEFORE any fork: children inherit the
+  // trained models and the working set by copy-on-write.
+  std::cout << "training on " << opt.vms << " VMs...\n";
+  rc::trace::Trace trace = rc::bench::CharacterizationTrace(opt.vms, /*seed=*/1234);
+  rc::core::PipelineConfig pipeline_config = rc::bench::DefaultPipelineConfig();
+  if (opt.trees > 0) pipeline_config.rf.num_trees = opt.trees;
+  if (opt.gbt_rounds > 0) pipeline_config.gbt.num_rounds = opt.gbt_rounds;
+  rc::core::OfflinePipeline pipeline(pipeline_config);
+  rc::core::TrainedModels trained = pipeline.Run(trace);
+
+  static const rc::trace::VmSizeCatalog catalog;
+  std::vector<rc::core::ClientInputs> keys;
+  keys.reserve(opt.keys);
+  for (const auto& vm : trace.vms()) {
+    if (keys.size() >= opt.keys) break;
+    if (!trained.feature_data.contains(vm.subscription_id)) continue;
+    keys.push_back(rc::core::InputsFromVm(vm, catalog));
+  }
+  if (keys.empty()) {
+    std::cerr << "no usable inputs in the trace\n";
+    return 1;
+  }
+
+  rc::obs::MetricsRegistry registry;
+  auto gauge = [&](const std::string& name, const char* help, double v) {
+    registry.GetGauge(name, {}, help).Set(v);
+  };
+
+  if (opt.compare) {
+    RunSummary off = RunOnce(trained, keys, opt, rc::net::CombinerMode::kOff);
+    if (!off.ok) return 1;
+    RunSummary on = RunOnce(trained, keys, opt, opt.combiner);
+    if (!on.ok) return 1;
+    const double speedup =
+        off.predictions_per_s > 0.0 ? on.predictions_per_s / off.predictions_per_s : 0.0;
+
+    rc::TablePrinter table({"metric", "combiner off", ModeName(opt.combiner)});
+    table.AddRow({"predictions/s", rc::TablePrinter::Fmt(off.predictions_per_s, 0),
+                  rc::TablePrinter::Fmt(on.predictions_per_s, 0)});
+    table.AddRow({"single p50", rc::TablePrinter::Fmt(off.p50_single, 1) + " us",
+                  rc::TablePrinter::Fmt(on.p50_single, 1) + " us"});
+    table.AddRow({"single p99", rc::TablePrinter::Fmt(off.p99_single, 1) + " us",
+                  rc::TablePrinter::Fmt(on.p99_single, 1) + " us"});
+    table.AddRow({"errors", std::to_string(off.errors), std::to_string(on.errors)});
+    table.Print(std::cout);
+
+    const bool speedup_ok = speedup >= kCombinerSpeedupFloor;
+    const bool latency_ok = on.p99_single <= kP99BudgetUs;
+    std::cout << "\nspeedup: " << rc::TablePrinter::Fmt(speedup, 2) << "x\n"
+              << "acceptance: combiner >= " << rc::TablePrinter::Fmt(kCombinerSpeedupFloor, 1)
+              << "x predictions/s -> " << (speedup_ok ? "PASS" : "FAIL")
+              << "; combiner-on single P99 <= " << rc::TablePrinter::Fmt(kP99BudgetUs, 0)
+              << " us -> " << (latency_ok ? "PASS" : "FAIL") << "\n";
+
+    gauge("rc_bench_net_combiner_off_predictions_per_s",
+          "combiner-off loopback predictions per second", off.predictions_per_s);
+    gauge(std::string("rc_bench_net_combiner_") + ModeName(opt.combiner) + "_predictions_per_s",
+          "combiner-on loopback predictions per second", on.predictions_per_s);
+    gauge("rc_bench_net_combiner_off_single_p99_us", "combiner-off PredictSingle p99",
+          off.p99_single);
+    gauge(std::string("rc_bench_net_combiner_") + ModeName(opt.combiner) + "_single_p99_us",
+          "combiner-on PredictSingle p99", on.p99_single);
+    gauge("rc_bench_net_combiner_speedup", "combiner-on / combiner-off predictions per second",
+          speedup);
+    rc::obs::MergeJsonMetricsFile(kBenchJson, registry);
+    std::cout << "wrote " << kBenchJson << "\n";
+    return (speedup_ok && latency_ok) ? 0 : 1;
+  }
+
+  RunSummary r = RunOnce(trained, keys, opt, opt.combiner);
+  if (!r.ok) return 1;
 
   rc::TablePrinter table({"metric", "value"});
-  table.AddRow({"requests/s", rc::TablePrinter::Fmt(requests_per_s, 0)});
-  table.AddRow({"predictions/s", rc::TablePrinter::Fmt(predictions_per_s, 0)});
-  table.AddRow({"single p50", rc::TablePrinter::Fmt(p50_single, 1) + " us"});
-  table.AddRow({"single p99", rc::TablePrinter::Fmt(p99_single, 1) + " us"});
+  table.AddRow({"requests/s", rc::TablePrinter::Fmt(r.requests_per_s, 0)});
+  table.AddRow({"predictions/s", rc::TablePrinter::Fmt(r.predictions_per_s, 0)});
+  table.AddRow({"single p50", rc::TablePrinter::Fmt(r.p50_single, 1) + " us"});
+  table.AddRow({"single p99", rc::TablePrinter::Fmt(r.p99_single, 1) + " us"});
   table.AddRow({"many(" + std::to_string(opt.batch) + ") p99",
-                rc::TablePrinter::Fmt(p99_many, 1) + " us"});
-  table.AddRow({"errors", std::to_string(total.errors)});
+                rc::TablePrinter::Fmt(r.p99_many, 1) + " us"});
+  table.AddRow({"errors", std::to_string(r.errors)});
   table.Print(std::cout);
 
-  const bool throughput_ok = predictions_per_s >= 50'000.0;
-  const bool latency_ok = p99_single <= kP99BudgetUs;
+  const bool throughput_ok = r.predictions_per_s >= 50'000.0;
+  const bool latency_ok = r.p99_single <= kP99BudgetUs;
   std::cout << "\nacceptance: >= 50k predictions/s -> " << (throughput_ok ? "PASS" : "FAIL")
             << "; single P99 <= " << rc::TablePrinter::Fmt(kP99BudgetUs, 0)
             << " us (Fig. 10 budget + 1 ms) -> " << (latency_ok ? "PASS" : "FAIL") << "\n";
 
-  rc::obs::MetricsRegistry registry;
-  auto gauge = [&](const char* name, const char* help, double v) {
-    registry.GetGauge(name, {}, help).Set(v);
-  };
-  gauge("rc_bench_net_predictions_per_s", "loopback predictions per second", predictions_per_s);
-  gauge("rc_bench_net_requests_per_s", "loopback requests per second", requests_per_s);
-  gauge("rc_bench_net_single_p50_us", "PredictSingle round-trip p50", p50_single);
-  gauge("rc_bench_net_single_p99_us", "PredictSingle round-trip p99", p99_single);
-  gauge("rc_bench_net_many_p99_us", "PredictMany round-trip p99", p99_many);
+  gauge("rc_bench_net_predictions_per_s", "loopback predictions per second", r.predictions_per_s);
+  gauge("rc_bench_net_requests_per_s", "loopback requests per second", r.requests_per_s);
+  gauge("rc_bench_net_single_p50_us", "PredictSingle round-trip p50", r.p50_single);
+  gauge("rc_bench_net_single_p99_us", "PredictSingle round-trip p99", r.p99_single);
+  gauge("rc_bench_net_many_p99_us", "PredictMany round-trip p99", r.p99_many);
   gauge("rc_bench_net_errors", "failed requests across the run",
-        static_cast<double>(total.errors));
+        static_cast<double>(r.errors));
   gauge("rc_bench_net_load_procs", "load generator processes", opt.procs);
   gauge("rc_bench_net_load_threads", "threads per load process", opt.threads);
   rc::obs::MergeJsonMetricsFile(kBenchJson, registry);

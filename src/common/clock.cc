@@ -1,0 +1,141 @@
+#include "src/common/clock.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace rc::common {
+
+namespace {
+
+std::chrono::steady_clock::time_point ToTimePoint(int64_t us) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::microseconds(us)));
+}
+
+}  // namespace
+
+MonotonicClock* MonotonicClock::Instance() {
+  static MonotonicClock clock;
+  return &clock;
+}
+
+int64_t MonotonicClock::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void MonotonicClock::SleepUs(int64_t us) {
+  if (us <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+bool MonotonicClock::WaitUntil(std::unique_lock<std::mutex>& lock,
+                               std::condition_variable& cv, int64_t deadline_us,
+                               const std::function<bool()>& pred) {
+  const auto deadline = ToTimePoint(deadline_us);
+  while (!pred()) {
+    if (cv.wait_until(lock, deadline) == std::cv_status::timeout) return pred();
+  }
+  return true;
+}
+
+VirtualClock::VirtualClock() : VirtualClock(Options{}) {}
+
+VirtualClock::VirtualClock(Options options)
+    : options_(options), now_us_(options.start_us) {}
+
+int64_t VirtualClock::NowUs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return now_us_;
+}
+
+int64_t VirtualClock::slept_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slept_us_;
+}
+
+size_t VirtualClock::waiters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size() + sleepers_;
+}
+
+void VirtualClock::AwaitWaiters(size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  clock_cv_.wait(lock, [&] { return waiters_.size() + sleepers_ >= n; });
+}
+
+void VirtualClock::SleepUs(int64_t us) {
+  if (us <= 0) return;
+  if (options_.auto_advance_on_sleep) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slept_us_ += us;
+    }
+    AdvanceUs(us);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  const int64_t deadline = now_us_ + us;
+  slept_us_ += us;
+  ++sleepers_;
+  clock_cv_.notify_all();  // a test may be blocked in AwaitWaiters
+  clock_cv_.wait(lock, [&] { return now_us_ >= deadline; });
+  --sleepers_;
+}
+
+bool VirtualClock::WaitUntil(std::unique_lock<std::mutex>& lock,
+                             std::condition_variable& cv, int64_t deadline_us,
+                             const std::function<bool()>& pred) {
+  while (!pred()) {
+    std::list<Waiter>::iterator it;
+    {
+      std::lock_guard<std::mutex> clock_lock(mu_);
+      if (now_us_ >= deadline_us) return pred();
+      // Register while still holding the caller's mutex: an Advance that
+      // runs before we reach cv.wait blocks on that mutex when notifying,
+      // so the wake cannot be lost.
+      it = waiters_.insert(waiters_.end(), Waiter{&cv, lock.mutex()});
+      clock_cv_.notify_all();
+    }
+    cv.wait(lock);
+    {
+      std::lock_guard<std::mutex> clock_lock(mu_);
+      waiters_.erase(it);
+    }
+  }
+  return true;
+}
+
+void VirtualClock::AdvanceUs(int64_t us) {
+  if (us <= 0) return;
+  std::vector<Waiter> to_wake;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_us_ += us;
+    to_wake.assign(waiters_.begin(), waiters_.end());
+    // Sleepers share mu_, so notifying under it is race-free for them.
+    clock_cv_.notify_all();
+  }
+  // External waiters park on their own (mutex, cv) pair. Locking the
+  // waiter's mutex before notifying guarantees the waiter is either already
+  // inside cv.wait (wake delivered) or has not yet re-checked the time
+  // (it will observe the new now_us_ when it does).
+  for (const Waiter& w : to_wake) {
+    std::lock_guard<std::mutex> waiter_lock(*w.mu);
+    w.cv->notify_all();
+  }
+}
+
+void VirtualClock::AdvanceToUs(int64_t deadline_us) {
+  int64_t delta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delta = deadline_us - now_us_;
+  }
+  AdvanceUs(delta);
+}
+
+}  // namespace rc::common

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <thread>
 #include <utility>
 
+#include "src/common/clock.h"
 #include "src/common/crc32.h"
 #include "src/common/faults.h"
 #include "src/common/hashing.h"
+#include "src/core/batch_combiner.h"
 #include "src/ml/exec_engine.h"
 #include "src/obs/trace_events.h"
 
@@ -84,6 +87,8 @@ const SubscriptionFeatures* Client::ClientState::FindFeatures(
 
 Client::Client(rc::store::KvStore* store, ClientConfig config)
     : store_(store), config_(std::move(config)) {
+  clock_ = config_.clock != nullptr ? config_.clock
+                                    : rc::common::MonotonicClock::Instance();
   if (config_.metrics != nullptr) {
     metrics_ = config_.metrics;
   } else {
@@ -95,9 +100,24 @@ Client::Client(rc::store::KvStore* store, ClientConfig config)
     disk_ = std::make_unique<rc::store::DiskCache>(config_.disk_cache_dir,
                                                    config_.disk_expiry_seconds, metrics_);
   }
-  shard_capacity_ = std::max<size_t>(1, config_.result_cache_capacity / kResultCacheShards);
+  // Capacity 0 disables the result cache (shard capacity 0 short-circuits
+  // both lookup and insert).
+  shard_capacity_ = config_.result_cache_capacity == 0
+                        ? 0
+                        : std::max<size_t>(1, config_.result_cache_capacity /
+                                                  kResultCacheShards);
   master_state_ = std::make_shared<const ClientState>();
   snapshot_.store(master_state_);
+  if (config_.combiner.enabled) {
+    BatchCombinerConfig cc;
+    cc.max_wait_us = config_.combiner.max_wait_us;
+    cc.max_batch = config_.combiner.max_batch;
+    cc.fast_path_when_idle = config_.combiner.fast_path_when_idle;
+    cc.clock = clock_;
+    cc.metrics = metrics_;
+    cc.metric_labels = config_.metric_labels;
+    combiner_ = std::make_unique<BatchCombiner>(this, std::move(cc));
+  }
 }
 
 void Client::RegisterInstruments() {
@@ -140,6 +160,9 @@ bool Client::ShouldSampleLatency() const {
 }
 
 Client::~Client() {
+  // Drain parked combiner callers first: anything still blocked in Predict
+  // gets ok=false instead of touching a half-destroyed client.
+  if (combiner_ != nullptr) combiner_->Shutdown();
   // Unsubscribe drains in-flight listener invocations, so after this returns
   // no store thread can call back into this (soon-destroyed) client.
   if (store_ != nullptr && store_subscription_ >= 0) {
@@ -196,6 +219,7 @@ Client::ResultCacheShard& Client::ShardFor(uint64_t key) const {
 }
 
 std::optional<Prediction> Client::ResultCacheLookup(uint64_t key) const {
+  if (shard_capacity_ == 0) return std::nullopt;  // cache disabled
   ResultCacheShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
@@ -205,6 +229,7 @@ std::optional<Prediction> Client::ResultCacheLookup(uint64_t key) const {
 
 void Client::ResultCacheInsert(uint64_t key, const Prediction& prediction,
                                uint64_t epoch) {
+  if (shard_capacity_ == 0) return;  // cache disabled
   ResultCacheShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   // An invalidation ran after this prediction's snapshot was taken; dropping
@@ -230,7 +255,7 @@ void Client::SetDegraded(DegradedReason reason) {
 
 bool Client::BreakerOpenLocked() {
   if (!breaker_open_) return false;
-  if (std::chrono::steady_clock::now() < breaker_open_until_) return true;
+  if (clock_->NowUs() < breaker_open_until_us_) return true;
   // Half-open: let one probe through. A success closes the breaker; one more
   // failure re-opens it immediately.
   breaker_open_ = false;
@@ -243,8 +268,7 @@ void Client::BreakerFailureLocked() {
   consecutive_store_failures_ += 1;
   if (!breaker_open_ && consecutive_store_failures_ >= config_.breaker_failure_threshold) {
     breaker_open_ = true;
-    breaker_open_until_ = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(config_.breaker_open_us);
+    breaker_open_until_us_ = clock_->NowUs() + config_.breaker_open_us;
     m_.breaker_trips->Increment();
   }
 }
@@ -294,7 +318,7 @@ Client::StoreRead Client::StoreReadLocked(const std::string& key, VersionedBlob&
           return StoreRead::kFailed;
         }
         m_.store_retries->Increment();
-        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        clock_->SleepUs(backoff_us);
         backoff_us *= 2;
         break;
     }
@@ -302,14 +326,13 @@ Client::StoreRead Client::StoreReadLocked(const std::string& key, VersionedBlob&
 }
 
 void Client::LoadAllFromStoreLocked(ClientState& state) {
-  auto deadline = std::chrono::steady_clock::time_point::max();
+  int64_t deadline_us = std::numeric_limits<int64_t>::max();
   if (config_.reload_timeout_us > 0) {
-    deadline = std::chrono::steady_clock::now() +
-               std::chrono::microseconds(config_.reload_timeout_us);
+    deadline_us = clock_->NowUs() + config_.reload_timeout_us;
   }
   bool clean = true;
   for (const std::string& key : store_->ListKeys("")) {
-    if (std::chrono::steady_clock::now() > deadline) {
+    if (clock_->NowUs() > deadline_us) {
       // Out of budget: stop fetching and serve what we have.
       m_.reload_timeouts->Increment();
       SetDegraded(DegradedReason::kStoreErrors);
@@ -541,6 +564,30 @@ Prediction Client::PredictSingleImpl(const std::string& model_name,
   }
   m_.result_misses->Increment();
 
+  // Cache miss: coalesce with concurrent misses when a combiner is
+  // configured. ok=false only when the combiner is shut down (client
+  // teardown); direct execution is the correct fallback then.
+  if (combiner_ != nullptr) {
+    CombineResult coalesced = combiner_->Predict(model_name, inputs);
+    if (coalesced.ok) return coalesced.prediction;
+  }
+  return PredictUncoalesced(model_name, inputs);
+}
+
+std::optional<Prediction> Client::ProbeResultCache(const std::string& model_name,
+                                                   const ClientInputs& inputs) {
+  uint64_t key = inputs.CacheKey(model_name);
+  if (auto cached = ResultCacheLookup(key)) {
+    m_.result_hits->Increment();
+    return cached;
+  }
+  m_.result_misses->Increment();
+  return std::nullopt;
+}
+
+Prediction Client::PredictUncoalesced(const std::string& model_name,
+                                      const ClientInputs& inputs) {
+  uint64_t key = inputs.CacheKey(model_name);
   // Order matters: reading the epoch before the snapshot means a concurrent
   // publish+invalidate is always detected at insert time.
   uint64_t epoch = cache_epoch_.load(std::memory_order_acquire);

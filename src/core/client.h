@@ -49,9 +49,28 @@
 #include "src/store/disk_cache.h"
 #include "src/store/kv_store.h"
 
+namespace rc::common {
+class Clock;
+}  // namespace rc::common
+
 namespace rc::core {
 
+class BatchCombiner;
+
 enum class CacheMode { kPush, kPull };
+
+// Cross-request batching (DESIGN.md "Cross-request batching"): when enabled,
+// concurrent PredictSingle calls that miss the result cache are coalesced by
+// a BatchCombiner into one batched ExecEngine walk. Results are identical to
+// the combiner-off path input-for-input; only scheduling changes.
+struct CombinerOptions {
+  bool enabled = false;
+  int64_t max_wait_us = 40;  // coalescing window after the first parked caller
+  size_t max_batch = 64;     // flush as soon as this many requests accumulate
+  // Lone callers (no open batch, no dispatch in flight) execute immediately
+  // instead of waiting out the window.
+  bool fast_path_when_idle = true;
+};
 
 struct ClientConfig {
   CacheMode mode = CacheMode::kPush;
@@ -62,6 +81,7 @@ struct ClientConfig {
   // Result-cache entries; when exceeded the cache is flushed (entries are
   // tiny — a bucket and a score — so the default is generous). The budget is
   // split evenly across the cache shards; each shard flushes independently.
+  // 0 disables the result cache entirely (every PredictSingle executes).
   size_t result_cache_capacity = 1 << 20;
   // Serve predictions with an empty history for subscriptions absent from
   // the feature data (off by default: the paper returns no-prediction).
@@ -84,6 +104,15 @@ struct ClientConfig {
   // through (half-open). <= 0 disables the breaker.
   int breaker_failure_threshold = 5;
   int64_t breaker_open_us = 100'000;
+
+  // Injected time source for retry backoff, the circuit breaker, reload
+  // deadlines, and the combiner window. Null uses MonotonicClock::Instance();
+  // tests substitute a VirtualClock. Must outlive the client.
+  rc::common::Clock* clock = nullptr;
+
+  // Cross-request batching of PredictSingle cache misses (the tentpole knob;
+  // see BatchCombiner).
+  CombinerOptions combiner;
 
   // --- observability (DESIGN.md "Observability") ---
   // Registry receiving this client's `rc_client_*` instruments. Null (the
@@ -165,6 +194,16 @@ class Client {
   // Compatibility view over the registry-backed instruments below. With the
   // default private registry this is exactly this client's activity.
   ClientStats stats() const;
+
+  // Current degradation state, lock-free (the same value stats() reports).
+  DegradedReason degraded_reason() const {
+    return static_cast<DegradedReason>(
+        degraded_reason_.load(std::memory_order_relaxed));
+  }
+
+  // The client's combiner, or null when config.combiner.enabled is false.
+  // Exposed for tests and for the server's shutdown sequencing.
+  BatchCombiner* combiner() const { return combiner_.get(); }
 
   // The registry holding this client's instruments — the config-supplied one
   // or the private default. Export with obs::PrometheusText / obs::JsonText.
@@ -291,14 +330,26 @@ class Client {
   void LoadAllFromDiskLocked(ClientState& state);
   void PersistIndexLocked();
   // PredictSingle body, separated so the public entry can wrap it with the
-  // sampled latency measurement.
+  // sampled latency measurement. Routes result-cache misses through the
+  // combiner when one is configured.
   Prediction PredictSingleImpl(const std::string& model_name, const ClientInputs& inputs);
+  // The post-cache-miss single-prediction path: snapshot load, execute (or
+  // PredictMiss), result-cache insert. Never consults the result cache and
+  // never re-enters the combiner — it is the combiner's fast-path callee.
+  Prediction PredictUncoalesced(const std::string& model_name, const ClientInputs& inputs);
+  // Result-cache probe with hit/miss accounting, for a combiner that fronts
+  // PredictSingle itself (probe_result_cache mode).
+  std::optional<Prediction> ProbeResultCache(const std::string& model_name,
+                                             const ClientInputs& inputs);
   // Slow path: a model or feature record was missing from the snapshot.
   Prediction PredictMiss(const std::string& model_name, const ClientInputs& inputs,
                          uint64_t cache_key, uint64_t epoch);
 
+  friend class BatchCombiner;  // calls PredictUncoalesced on its fast path
+
   rc::store::KvStore* store_;
   ClientConfig config_;
+  rc::common::Clock* clock_;  // config_.clock or MonotonicClock::Instance()
   std::unique_ptr<rc::store::DiskCache> disk_;
 
   // Published snapshot; readers load from their own stripe only.
@@ -319,9 +370,10 @@ class Client {
   int store_subscription_ = -1;
 
   // Circuit-breaker state; guarded by writer_mu_ (all store access holds it).
+  // The open-until deadline is in clock_->NowUs() microseconds.
   int consecutive_store_failures_ = 0;
   bool breaker_open_ = false;
-  std::chrono::steady_clock::time_point breaker_open_until_{};
+  int64_t breaker_open_until_us_ = 0;
 
   // Current degradation reason, readable from stats() without a lock
   // (mirrored into the rc_client_degraded_reason gauge).
@@ -330,6 +382,11 @@ class Client {
   std::unique_ptr<rc::obs::MetricsRegistry> owned_metrics_;  // when config has none
   rc::obs::MetricsRegistry* metrics_ = nullptr;
   Instruments m_{};
+
+  // Cross-request batching; null unless config_.combiner.enabled. Declared
+  // last so it is destroyed (draining parked callers) before the state it
+  // predicts against.
+  std::unique_ptr<BatchCombiner> combiner_;
 };
 
 }  // namespace rc::core

@@ -9,8 +9,8 @@
 
 #include <cerrno>
 #include <cstring>
-#include <thread>
 
+#include "src/common/clock.h"
 #include "src/common/faults.h"
 #include "src/net/server.h"  // EINTR-safe read/write wrappers
 
@@ -18,19 +18,12 @@ namespace rc::net {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-int64_t RemainingMs(Clock::time_point deadline) {
-  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now());
-  return left.count();
-}
-
-// Polls fd for `events` until ready or the deadline expires. Returns 1 when
-// ready, 0 on timeout, -1 on poll error. EINTR re-evaluates the remaining
-// budget and retries.
-int PollDeadline(int fd, short events, Clock::time_point deadline) {
+// Polls fd for `events` until ready or the deadline (absolute clock-µs)
+// expires. Returns 1 when ready, 0 on timeout, -1 on poll error. EINTR
+// re-evaluates the remaining budget and retries.
+int PollDeadline(int fd, short events, rc::common::Clock* clock, int64_t deadline_us) {
   for (;;) {
-    int64_t left_ms = RemainingMs(deadline);
+    int64_t left_ms = (deadline_us - clock->NowUs()) / 1000;
     if (left_ms < 0) return 0;
     pollfd p{fd, events, 0};
     // +1 rounds the sub-millisecond remainder up so we never spin at 0ms.
@@ -57,6 +50,8 @@ const char* ToString(Status status) {
 }
 
 Client::Client(ClientConfig config) : config_(std::move(config)) {
+  clock_ = config_.clock != nullptr ? config_.clock
+                                    : rc::common::MonotonicClock::Instance();
   if (config_.metrics != nullptr) {
     metrics_ = config_.metrics;
   } else {
@@ -80,14 +75,15 @@ Client::~Client() {
   for (Conn& conn : conns_) Disconnect(conn);
 }
 
-Clock::time_point Client::DeadlineFor(int64_t deadline_us) const {
+int64_t Client::DeadlineFor(int64_t deadline_us) const {
   int64_t us = deadline_us > 0 ? deadline_us : config_.default_deadline_us;
-  return Clock::now() + std::chrono::microseconds(us);
+  return clock_->NowUs() + us;
 }
 
-Status Client::Acquire(Clock::time_point deadline, size_t* slot) {
+Status Client::Acquire(int64_t deadline_us, size_t* slot) {
   std::unique_lock<std::mutex> lock(pool_mu_);
-  if (!pool_cv_.wait_until(lock, deadline, [this] { return !free_slots_.empty(); })) {
+  if (!clock_->WaitUntil(lock, pool_cv_, deadline_us,
+                         [this] { return !free_slots_.empty(); })) {
     return Status::kTimeout;
   }
   *slot = free_slots_.back();
@@ -110,18 +106,18 @@ void Client::Disconnect(Conn& conn) {
   }
 }
 
-Status Client::EnsureConnected(Conn& conn, Clock::time_point deadline) {
+Status Client::EnsureConnected(Conn& conn, int64_t deadline_us) {
   if (conn.fd >= 0) return Status::kOk;
   int64_t backoff_us = config_.reconnect_backoff_us;
   int attempts = config_.max_connect_attempts > 0 ? config_.max_connect_attempts : 1;
   for (int attempt = 0; attempt < attempts; ++attempt) {
-    if (Clock::now() >= deadline) return Status::kTimeout;
+    if (clock_->NowUs() >= deadline_us) return Status::kTimeout;
     if (attempt > 0) {
       // Doubling backoff, clamped so we never sleep past the deadline.
-      auto nap = std::chrono::microseconds(backoff_us);
-      auto left = deadline - Clock::now();
-      if (nap > left) nap = std::chrono::duration_cast<std::chrono::microseconds>(left);
-      if (nap.count() > 0) std::this_thread::sleep_for(nap);
+      int64_t nap_us = backoff_us;
+      int64_t left_us = deadline_us - clock_->NowUs();
+      if (nap_us > left_us) nap_us = left_us;
+      if (nap_us > 0) clock_->SleepUs(nap_us);
       backoff_us *= 2;
     }
     if (rc::faults::InjectError("net/connect")) continue;  // simulated refusal
@@ -142,7 +138,7 @@ Status Client::EnsureConnected(Conn& conn, Clock::time_point deadline) {
       errno = EINPROGRESS;
     }
     if (rc != 0 && errno == EINPROGRESS) {
-      int ready = PollDeadline(fd, POLLOUT, deadline);
+      int ready = PollDeadline(fd, POLLOUT, clock_, deadline_us);
       if (ready <= 0) {
         ::close(fd);
         if (ready == 0) return Status::kTimeout;
@@ -168,7 +164,7 @@ Status Client::EnsureConnected(Conn& conn, Clock::time_point deadline) {
 }
 
 Status Client::SendAll(Conn& conn, const std::vector<uint8_t>& bytes,
-                       Clock::time_point deadline) {
+                       int64_t deadline_us) {
   if (rc::faults::InjectError("net/send")) return Status::kSendFailed;
   size_t off = 0;
   while (off < bytes.size()) {
@@ -178,7 +174,7 @@ Status Client::SendAll(Conn& conn, const std::vector<uint8_t>& bytes,
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      int ready = PollDeadline(conn.fd, POLLOUT, deadline);
+      int ready = PollDeadline(conn.fd, POLLOUT, clock_, deadline_us);
       if (ready == 0) return Status::kTimeout;
       if (ready < 0) return Status::kSendFailed;
       continue;
@@ -188,7 +184,7 @@ Status Client::SendAll(Conn& conn, const std::vector<uint8_t>& bytes,
   return Status::kOk;
 }
 
-Status Client::RecvExact(Conn& conn, uint8_t* buf, size_t n, Clock::time_point deadline) {
+Status Client::RecvExact(Conn& conn, uint8_t* buf, size_t n, int64_t deadline_us) {
   size_t off = 0;
   while (off < n) {
     ssize_t r = ReadEintr(conn.fd, buf + off, n - off);
@@ -198,7 +194,7 @@ Status Client::RecvExact(Conn& conn, uint8_t* buf, size_t n, Clock::time_point d
     }
     if (r == 0) return Status::kRecvFailed;  // peer closed mid-response
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
-      int ready = PollDeadline(conn.fd, POLLIN, deadline);
+      int ready = PollDeadline(conn.fd, POLLIN, clock_, deadline_us);
       if (ready == 0) return Status::kTimeout;
       if (ready < 0) return Status::kRecvFailed;
       continue;
@@ -209,26 +205,26 @@ Status Client::RecvExact(Conn& conn, uint8_t* buf, size_t n, Clock::time_point d
 }
 
 Status Client::Call(Opcode opcode, uint64_t request_id, const std::vector<uint8_t>& frame,
-                    std::vector<uint8_t>* payload, Clock::time_point deadline) {
+                    std::vector<uint8_t>* payload, int64_t deadline_us) {
   uint64_t start_ns = rc::obs::NowNs();
   m_.requests->Increment();
   size_t slot;
-  Status status = Acquire(deadline, &slot);
+  Status status = Acquire(deadline_us, &slot);
   if (status != Status::kOk) {
     m_.timeouts->Increment();
     return status;
   }
   Conn& conn = conns_[slot];
 
-  status = EnsureConnected(conn, deadline);
-  if (status == Status::kOk) status = SendAll(conn, frame, deadline);
+  status = EnsureConnected(conn, deadline_us);
+  if (status == Status::kOk) status = SendAll(conn, frame, deadline_us);
   if (status == Status::kOk && rc::faults::InjectError("net/recv")) {
     status = Status::kRecvFailed;
   }
   uint32_t payload_len = 0;
   if (status == Status::kOk) {
     status = RecvExact(conn, reinterpret_cast<uint8_t*>(&payload_len), sizeof(payload_len),
-                       deadline);
+                       deadline_us);
   }
   if (status == Status::kOk &&
       (payload_len < kHeaderBytes || payload_len > config_.max_frame_bytes)) {
@@ -236,7 +232,7 @@ Status Client::Call(Opcode opcode, uint64_t request_id, const std::vector<uint8_
   }
   if (status == Status::kOk) {
     payload->resize(payload_len);
-    status = RecvExact(conn, payload->data(), payload_len, deadline);
+    status = RecvExact(conn, payload->data(), payload_len, deadline_us);
   }
   if (status == Status::kOk) {
     rc::ml::ByteReader r(payload->data(), payload->size());
@@ -264,7 +260,7 @@ Status Client::Call(Opcode opcode, uint64_t request_id, const std::vector<uint8_
 
 Status Client::PredictSingle(const std::string& model, const core::ClientInputs& inputs,
                              core::Prediction* out, int64_t deadline_us) {
-  Clock::time_point deadline = DeadlineFor(deadline_us);
+  int64_t deadline = DeadlineFor(deadline_us);
   uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   std::vector<uint8_t> frame;
   AppendPredictSingleRequest(frame, id, model, inputs);
@@ -289,7 +285,7 @@ Status Client::PredictSingle(const std::string& model, const core::ClientInputs&
 
 Status Client::PredictMany(const std::string& model, std::span<const core::ClientInputs> inputs,
                            std::vector<core::Prediction>* out, int64_t deadline_us) {
-  Clock::time_point deadline = DeadlineFor(deadline_us);
+  int64_t deadline = DeadlineFor(deadline_us);
   uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   std::vector<uint8_t> frame;
   AppendPredictManyRequest(frame, id, model, inputs);
@@ -313,7 +309,7 @@ Status Client::PredictMany(const std::string& model, std::span<const core::Clien
 }
 
 Status Client::Health(HealthResponse* out, int64_t deadline_us) {
-  Clock::time_point deadline = DeadlineFor(deadline_us);
+  int64_t deadline = DeadlineFor(deadline_us);
   uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   std::vector<uint8_t> frame;
   AppendHealthRequest(frame, id);

@@ -18,7 +18,6 @@
 #define RC_SRC_NET_CLIENT_H_
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -29,6 +28,10 @@
 
 #include "src/net/protocol.h"
 #include "src/obs/metrics.h"
+
+namespace rc::common {
+class Clock;
+}  // namespace rc::common
 
 namespace rc::net {
 
@@ -57,6 +60,11 @@ struct ClientConfig {
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   // Registry for the rc_net_client_* instruments; null = private registry.
   rc::obs::MetricsRegistry* metrics = nullptr;
+  // Injected time source for deadlines, pool waits, and reconnect backoff.
+  // Null uses MonotonicClock::Instance(); tests substitute a VirtualClock
+  // (socket readiness itself still polls real time — only deadline math and
+  // backoff naps are virtualized). Must outlive the client.
+  rc::common::Clock* clock = nullptr;
 };
 
 class Client {
@@ -78,32 +86,33 @@ class Client {
   rc::obs::MetricsRegistry& metrics() const { return *metrics_; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-
   struct Conn {
     int fd = -1;
   };
 
+  // Deadlines below are absolute microseconds on the injected clock's scale
+  // (clock_->NowUs() + budget).
   // Leases a pool slot, blocking until one frees or the deadline expires.
-  Status Acquire(Clock::time_point deadline, size_t* slot);
+  Status Acquire(int64_t deadline_us, size_t* slot);
   void Release(size_t slot);
   // Connects the slot's socket if needed (backoff through "net/connect").
-  Status EnsureConnected(Conn& conn, Clock::time_point deadline);
+  Status EnsureConnected(Conn& conn, int64_t deadline_us);
   void Disconnect(Conn& conn);
 
   // One full round-trip: lease, connect, send `frame`, receive the matching
   // response, fill `payload` with the response body (header already
   // validated against `request_id` and `opcode`).
   Status Call(Opcode opcode, uint64_t request_id, const std::vector<uint8_t>& frame,
-              std::vector<uint8_t>* payload, Clock::time_point deadline);
+              std::vector<uint8_t>* payload, int64_t deadline_us);
 
-  Status SendAll(Conn& conn, const std::vector<uint8_t>& bytes, Clock::time_point deadline);
+  Status SendAll(Conn& conn, const std::vector<uint8_t>& bytes, int64_t deadline_us);
   // Reads exactly n bytes into buf, polling against the deadline.
-  Status RecvExact(Conn& conn, uint8_t* buf, size_t n, Clock::time_point deadline);
+  Status RecvExact(Conn& conn, uint8_t* buf, size_t n, int64_t deadline_us);
 
-  Clock::time_point DeadlineFor(int64_t deadline_us) const;
+  int64_t DeadlineFor(int64_t deadline_us) const;
 
   ClientConfig config_;
+  rc::common::Clock* clock_;
   std::vector<Conn> conns_;
   std::mutex pool_mu_;
   std::condition_variable pool_cv_;

@@ -12,6 +12,7 @@
 #include <cstring>
 
 #include "src/common/faults.h"
+#include "src/core/batch_combiner.h"
 #include "src/obs/trace_events.h"
 
 namespace rc::net {
@@ -71,6 +72,25 @@ Server::Server(rc::core::Client* client, ServerConfig config)
 
 Server::~Server() { Stop(); }
 
+std::unique_ptr<rc::core::BatchCombiner> Server::MakeCombiner(
+    rc::obs::Labels labels) const {
+  rc::core::BatchCombinerConfig cc;
+  cc.max_wait_us = config_.combiner_max_wait_us;
+  cc.max_batch = config_.combiner_max_batch;
+  cc.fast_path_when_idle = config_.combiner_fast_path_when_idle;
+  // The server-owned combiner fronts PredictSingle itself, so it must probe
+  // the result cache to keep hits from parking.
+  cc.probe_result_cache = true;
+  cc.clock = config_.clock;
+  cc.metrics = metrics_;
+  cc.metric_labels = std::move(labels);
+  return std::make_unique<rc::core::BatchCombiner>(client_, std::move(cc));
+}
+
+rc::core::BatchCombiner* Server::CombinerFor(Worker& worker) const {
+  return worker.combiner != nullptr ? worker.combiner.get() : shared_combiner_.get();
+}
+
 bool Server::Start() {
   if (running_.load(std::memory_order_acquire)) return true;
 
@@ -98,9 +118,15 @@ bool Server::Start() {
     port_ = ntohs(addr.sin_port);
   }
 
+  if (config_.combiner_mode == CombinerMode::kShared) {
+    shared_combiner_ = MakeCombiner({{"scope", "shared"}});
+  }
   int workers = config_.num_workers > 0 ? config_.num_workers : 1;
   for (int i = 0; i < workers; ++i) {
     auto worker = std::make_unique<Worker>();
+    if (config_.combiner_mode == CombinerMode::kPerWorker) {
+      worker->combiner = MakeCombiner({{"scope", "worker"}, {"worker", std::to_string(i)}});
+    }
     worker->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
     worker->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
     if (worker->epoll_fd < 0 || worker->wake_fd < 0) {
@@ -134,6 +160,7 @@ void Server::Stop() {
       if (worker->wake_fd >= 0) ::close(worker->wake_fd);
     }
     workers_.clear();
+    shared_combiner_.reset();
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
@@ -141,16 +168,29 @@ void Server::Stop() {
     return;
   }
   stopping_.store(true, std::memory_order_release);
+  // Drain combiners first: a worker thread parked in a combiner window must
+  // be released before its wake_fd write can matter (requests parked at that
+  // instant are answered ok=false by the shutdown drain; the handler falls
+  // back to a direct PredictSingle, so no frame goes unanswered).
+  if (shared_combiner_ != nullptr) shared_combiner_->Shutdown();
+  for (auto& worker : workers_) {
+    if (worker->combiner != nullptr) worker->combiner->Shutdown();
+  }
   for (auto& worker : workers_) {
     uint64_t one = 1;
     (void)WriteEintr(worker->wake_fd, &one, sizeof(one));
   }
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
+    // A handoff racing with shutdown can land after the target drained its
+    // pending queue; all workers are joined now, so sweep without racing.
+    for (int fd : worker->pending_fds) ::close(fd);
+    worker->pending_fds.clear();
     if (worker->epoll_fd >= 0) ::close(worker->epoll_fd);
     if (worker->wake_fd >= 0) ::close(worker->wake_fd);
   }
   workers_.clear();
+  shared_combiner_.reset();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -181,6 +221,13 @@ void Server::WorkerLoop(Worker& worker) {
       if (fd == worker.wake_fd) {
         uint64_t drain;
         (void)ReadEintr(worker.wake_fd, &drain, sizeof(drain));
+        // Adopt connections handed over by another worker's accept loop.
+        std::vector<int> adopted;
+        {
+          std::lock_guard<std::mutex> lock(worker.pending_mu);
+          adopted.swap(worker.pending_fds);
+        }
+        for (int pending_fd : adopted) AdoptConnection(worker, pending_fd);
         continue;  // loop condition re-checks stopping_
       }
       if (fd == listen_fd_) {
@@ -198,14 +245,27 @@ void Server::WorkerLoop(Worker& worker) {
       if ((mask & EPOLLOUT) != 0) WriteReady(worker, conn);
     }
   }
-  // Drain: close every connection this worker owns.
+  // Drain: close every connection this worker owns, plus any handed-over
+  // sockets never adopted (Stop() sweeps handoffs that race with shutdown).
   std::vector<int> fds;
   fds.reserve(worker.conns.size());
   for (const auto& [fd, conn] : worker.conns) fds.push_back(fd);
   for (int fd : fds) CloseConnection(worker, fd);
+  std::lock_guard<std::mutex> lock(worker.pending_mu);
+  for (int fd : worker.pending_fds) ::close(fd);
+  worker.pending_fds.clear();
 }
 
 void Server::AcceptReady(Worker& worker) {
+  // EPOLLEXCLUSIVE wakes one worker per readiness edge, but this loop drains
+  // the whole backlog — a burst of simultaneous connects would otherwise all
+  // land on the worker that happened to wake first. Since a worker handles
+  // its connections' frames serially (and may park in the shared combiner),
+  // piling every connection onto one worker both serializes the load and
+  // starves the combiner of concurrent arrivals. Round-robin each accepted
+  // socket across workers instead: remote ones go through the target's
+  // pending queue and are registered by the target itself (epoll sets and
+  // conns maps stay worker-local).
   for (;;) {
     int fd = AcceptEintr(listen_fd_);
     if (fd < 0) {
@@ -215,21 +275,37 @@ void Server::AcceptReady(Worker& worker) {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>();
-    conn->fd = fd;
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-      ::close(fd);
+    size_t target_idx = static_cast<size_t>(
+        next_worker_.fetch_add(1, std::memory_order_relaxed) % workers_.size());
+    Worker& target = *workers_[target_idx];
+    if (&target == &worker) {
+      AdoptConnection(worker, fd);
       continue;
     }
-    worker.conns.emplace(fd, std::move(conn));
-    m_.connections_accepted->Increment();
-    active_connections_.fetch_add(1, std::memory_order_relaxed);
-    m_.connections_active->Set(
-        static_cast<double>(active_connections_.load(std::memory_order_relaxed)));
+    {
+      std::lock_guard<std::mutex> lock(target.pending_mu);
+      target.pending_fds.push_back(fd);
+    }
+    uint64_t nudge = 1;
+    (void)WriteEintr(target.wake_fd, &nudge, sizeof(nudge));
   }
+}
+
+void Server::AdoptConnection(Worker& worker, int fd) {
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(worker.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  worker.conns.emplace(fd, std::move(conn));
+  m_.connections_accepted->Increment();
+  active_connections_.fetch_add(1, std::memory_order_relaxed);
+  m_.connections_active->Set(
+      static_cast<double>(active_connections_.load(std::memory_order_relaxed)));
 }
 
 bool Server::ReadReady(Worker& worker, Connection& conn) {
@@ -253,12 +329,12 @@ bool Server::ReadReady(Worker& worker, Connection& conn) {
     CloseConnection(worker, conn.fd);
     return false;
   }
-  ProcessFrames(conn);
+  ProcessFrames(worker, conn);
   if (!WriteReady(worker, conn)) return false;
   return true;
 }
 
-void Server::ProcessFrames(Connection& conn) {
+void Server::ProcessFrames(Worker& worker, Connection& conn) {
   size_t off = 0;
   while (!conn.want_close && conn.in.size() - off >= kLengthPrefixBytes) {
     uint32_t payload_len;
@@ -274,13 +350,14 @@ void Server::ProcessFrames(Connection& conn) {
       break;
     }
     if (conn.in.size() - off < kLengthPrefixBytes + payload_len) break;  // partial frame
-    HandleFrame(conn, conn.in.data() + off + kLengthPrefixBytes, payload_len);
+    HandleFrame(worker, conn, conn.in.data() + off + kLengthPrefixBytes, payload_len);
     off += kLengthPrefixBytes + payload_len;
   }
   if (off > 0) conn.in.erase(conn.in.begin(), conn.in.begin() + static_cast<ptrdiff_t>(off));
 }
 
-void Server::HandleFrame(Connection& conn, const uint8_t* payload, size_t size) {
+void Server::HandleFrame(Worker& worker, Connection& conn, const uint8_t* payload,
+                         size_t size) {
   uint64_t start_ns = rc::obs::NowNs();
   m_.requests->Increment();
   rc::ml::ByteReader r(payload, size);
@@ -309,7 +386,17 @@ void Server::HandleFrame(Connection& conn, const uint8_t* payload, size_t size) 
       PredictSingleRequest req;
       status = DecodePredictSingleRequest(r, &req);
       if (status != WireStatus::kOk) break;
-      core::Prediction p = client_->PredictSingle(req.model, req.inputs);
+      core::Prediction p;
+      rc::core::BatchCombiner* combiner = CombinerFor(worker);
+      if (combiner != nullptr) {
+        rc::core::CombineResult coalesced = combiner->Predict(req.model, req.inputs);
+        // ok=false only during Stop()'s drain; answer directly so the frame
+        // still gets its response before the connection closes.
+        p = coalesced.ok ? coalesced.prediction
+                         : client_->PredictSingle(req.model, req.inputs);
+      } else {
+        p = client_->PredictSingle(req.model, req.inputs);
+      }
       m_.predictions->Increment();
       AppendPredictSingleResponse(conn.out, header.request_id, p);
       m_.request_latency_us->Record(static_cast<double>(rc::obs::NowNs() - start_ns) / 1000.0);

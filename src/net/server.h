@@ -2,7 +2,9 @@
 // client library into the paper's datacenter service. N worker threads each
 // run a non-blocking epoll loop; the listening socket is registered in every
 // worker's epoll set with EPOLLEXCLUSIVE, so the kernel wakes one worker per
-// pending accept and the accepting worker owns the connection for its
+// pending accept. Accepted sockets are spread round-robin across workers
+// (the accepting worker hands remote ones over through a pending queue +
+// eventfd nudge), and the adopting worker owns the connection for its
 // lifetime (per-connection state is worker-local — no cross-thread locking
 // on the request path). Request handling calls straight into
 // core::Client::PredictSingle/PredictMany, so the batched ExecEngine path,
@@ -23,6 +25,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -34,6 +37,16 @@
 
 namespace rc::net {
 
+// Where kPredictSingle coalescing happens (DESIGN.md "Cross-request
+// batching"). kShared gives one BatchCombiner all worker threads park in, so
+// concurrent singles across connections coalesce into one ExecEngine walk.
+// kPerWorker gives each worker its own combiner: no cross-worker contention,
+// but a worker thread processes frames serially, so batches only form
+// against an in-flight dispatch (handoff) — it is the measured control arm
+// that shows where the coalescing win actually comes from (bench/perf_net
+// --combiner). kOff routes straight to core::Client::PredictSingle.
+enum class CombinerMode { kOff, kShared, kPerWorker };
+
 struct ServerConfig {
   std::string bind_address = "127.0.0.1";
   uint16_t port = 0;  // 0 = ephemeral; read the bound port back via port()
@@ -43,6 +56,16 @@ struct ServerConfig {
   // Registry receiving the rc_net_* instruments; null = private registry
   // (same convention as core::Client).
   rc::obs::MetricsRegistry* metrics = nullptr;
+
+  // Cross-request batching of kPredictSingle frames. The server-owned
+  // combiner probes the client's result cache first (hits never park), so
+  // enabling it only changes scheduling, never results.
+  CombinerMode combiner_mode = CombinerMode::kOff;
+  int64_t combiner_max_wait_us = 40;
+  size_t combiner_max_batch = 64;
+  bool combiner_fast_path_when_idle = true;
+  // Injected time source for the combiner window; null = MonotonicClock.
+  rc::common::Clock* clock = nullptr;
 };
 
 class Server {
@@ -81,20 +104,31 @@ class Server {
 
   struct Worker {
     int epoll_fd = -1;
-    int wake_fd = -1;  // eventfd; written by Stop()
+    int wake_fd = -1;  // eventfd; written by Stop() and connection handoff
     std::thread thread;
     std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    // Accepted sockets handed to this worker by another worker's accept loop,
+    // awaiting registration in this worker's epoll set (see AcceptReady).
+    std::mutex pending_mu;
+    std::vector<int> pending_fds;
+    // kPerWorker mode: this worker's combiner (null otherwise).
+    std::unique_ptr<rc::core::BatchCombiner> combiner;
   };
 
   void WorkerLoop(Worker& worker);
   void AcceptReady(Worker& worker);
+  // Registers an accepted socket with `worker`'s epoll set and conns map.
+  void AdoptConnection(Worker& worker, int fd);
   // False when the connection was closed and erased.
   bool ReadReady(Worker& worker, Connection& conn);
   bool WriteReady(Worker& worker, Connection& conn);
   // Parses and answers every complete frame buffered in conn.in.
-  void ProcessFrames(Connection& conn);
+  void ProcessFrames(Worker& worker, Connection& conn);
   // Decodes and dispatches one frame payload, appending the response.
-  void HandleFrame(Connection& conn, const uint8_t* payload, size_t size);
+  void HandleFrame(Worker& worker, Connection& conn, const uint8_t* payload, size_t size);
+  // The combiner handling this worker's kPredictSingle frames (null = direct).
+  rc::core::BatchCombiner* CombinerFor(Worker& worker) const;
+  std::unique_ptr<rc::core::BatchCombiner> MakeCombiner(rc::obs::Labels labels) const;
   void CloseConnection(Worker& worker, int fd);
   bool UpdateEpollOut(Worker& worker, Connection& conn, bool want);
 
@@ -102,7 +136,11 @@ class Server {
   ServerConfig config_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  // kShared mode: the combiner every worker parks in (null otherwise).
+  std::unique_ptr<rc::core::BatchCombiner> shared_combiner_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  // Round-robin cursor for spreading accepted connections across workers.
+  std::atomic<uint64_t> next_worker_{0};
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
 

@@ -1,6 +1,12 @@
 // The paper's client is "a single, general, and thread-safe" library shared
 // by all callers in a process; these tests hammer one client from multiple
 // threads while the store pushes updates.
+//
+// Timing audit (DESIGN.md "Cross-request batching", testing notes): every
+// test here coordinates with latches, atomics, and bounded iteration counts —
+// no real sleeps, no virtual clock needed. Overlap is forced structurally
+// (e.g. kMinPredictions keeps the predictor running past the pusher) rather
+// than by racing wall-clock delays.
 #include <atomic>
 #include <latch>
 #include <thread>

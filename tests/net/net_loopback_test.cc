@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/clock.h"
 #include "src/common/faults.h"
 #include "src/core/client.h"
 #include "src/core/offline_pipeline.h"
@@ -168,6 +169,10 @@ TEST_F(NetLoopbackTest, ServerMetricsExported) {
 // The paper's hot-swap requirement carried over the network: republish the
 // models (new versions pushed through the store) while network clients
 // hammer the server. Every request must succeed and no connection may drop.
+// Wall-clock holdout: the 10ms sleeps only pace the republishes against real
+// network round-trips; correctness never depends on the overlap happening
+// (the assertions hold even if the storm and the publishes don't interleave),
+// so this stays on real time rather than an injected clock.
 TEST_F(NetLoopbackTest, ConcurrentClientsDuringRepublish) {
   constexpr int kThreads = 4;
   constexpr int kRequestsPerThread = 150;
@@ -215,6 +220,11 @@ TEST_F(NetLoopbackTest, ConcurrentClientsDuringRepublish) {
 
 // A server stalled past the caller's deadline: the call returns kTimeout
 // (not a hang, not a crash), and the pool recovers for the next request.
+// Wall-clock holdout: the stall is a latency fault on the server's handler
+// thread and the expiry fires inside poll(2), neither of which a
+// VirtualClock can drive — socket readiness is kernel time. The deadline
+// (20ms) and stall (300ms) are far enough apart to stay robust under
+// sanitizers.
 TEST_F(NetLoopbackTest, DeadlineExpiryReturnsTimeout) {
   Client client(PoolConfig(1));
   {
@@ -234,11 +244,17 @@ TEST_F(NetLoopbackTest, DeadlineExpiryReturnsTimeout) {
 }
 
 // First connect attempts fail (injected at the "net/connect" site): the
-// client retries with backoff inside the same call and still succeeds.
+// client retries with backoff inside the same call and still succeeds. The
+// backoff naps run on a VirtualClock (auto-advance: they execute inline on
+// the calling thread), so the doubling schedule is asserted exactly instead
+// of waiting it out in real time.
 TEST_F(NetLoopbackTest, ReconnectWithBackoffThroughFaultSite) {
+  rc::common::VirtualClock clock(
+      rc::common::VirtualClock::Options{.auto_advance_on_sleep = true});
   ClientConfig config = PoolConfig(1);
   config.max_connect_attempts = 4;
   config.reconnect_backoff_us = 500;
+  config.clock = &clock;
   Client client(config);
   rc::faults::FaultSpec spec;
   spec.kind = rc::faults::FaultKind::kError;
@@ -248,19 +264,25 @@ TEST_F(NetLoopbackTest, ReconnectWithBackoffThroughFaultSite) {
   EXPECT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kOk);
   EXPECT_TRUE(p.valid);
   EXPECT_EQ(rc::faults::Registry::Global().fires("net/connect"), 2u);
+  // Exactly the doubling schedule: 500 before attempt 2, 1000 before attempt 3.
+  EXPECT_EQ(clock.slept_us(), 1500);
 }
 
 // Exhausted connect attempts surface as kConnectFailed, never a hang.
 TEST_F(NetLoopbackTest, ConnectFailureAfterExhaustedBackoff) {
+  rc::common::VirtualClock clock(
+      rc::common::VirtualClock::Options{.auto_advance_on_sleep = true});
   ClientConfig config = PoolConfig(1);
   config.max_connect_attempts = 2;
   config.reconnect_backoff_us = 200;
+  config.clock = &clock;
   Client client(config);
   rc::faults::FaultSpec spec;
   spec.kind = rc::faults::FaultKind::kError;
   rc::faults::ScopedFault fault("net/connect", spec);  // every attempt fails
   core::Prediction p;
   EXPECT_EQ(client.PredictSingle("VM_AVGUTIL", KnownInputs(), &p), Status::kConnectFailed);
+  EXPECT_EQ(clock.slept_us(), 200);  // the one backoff before the second attempt
 }
 
 // Send/recv faults mark the connection dead; the next call reconnects.

@@ -58,6 +58,12 @@ NET_FAMILIES=(
   rc_net_request_latency_us
   rc_net_client_requests
   rc_net_client_request_latency_us
+  rc_combiner_requests
+  rc_combiner_fast_path
+  rc_combiner_flushes
+  rc_combiner_batch_size
+  rc_combiner_wait_us
+  rc_combiner_pending
 )
 for family in "${NET_FAMILIES[@]}"; do
   if ! grep -q "^${family}" <<<"${NET_EXPO}"; then
@@ -65,7 +71,24 @@ for family in "${NET_FAMILIES[@]}"; do
     exit 1
   fi
 done
-echo "all ${#NET_FAMILIES[@]} required rc_net_* metric families present."
+echo "all ${#NET_FAMILIES[@]} required rc_net_*/rc_combiner_* metric families present."
+
+echo "== combiner determinism lint =="
+# The combiner unit suites must stay on VirtualClock: a real sleep in them
+# reintroduces exactly the timing flake the clock injection removed. (The
+# stress file coordinates with atomics/latches and is checked too.)
+COMBINER_TESTS=(
+  "${REPO_ROOT}/tests/core/batch_combiner_test.cc"
+  "${REPO_ROOT}/tests/core/batch_combiner_stress_test.cc"
+  "${REPO_ROOT}/tests/common/clock_test.cc"
+)
+for f in "${COMBINER_TESTS[@]}"; do
+  if grep -n 'sleep_for\|sleep_until\|usleep\|nanosleep' "$f"; then
+    echo "FAIL: real sleep in deterministic combiner test ${f#${REPO_ROOT}/}" >&2
+    exit 1
+  fi
+done
+echo "combiner test suites are sleep-free (VirtualClock only)."
 
 if [[ "${RC_SKIP_SANITIZERS:-0}" != "1" ]]; then
   echo "== TSan =="

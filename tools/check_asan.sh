@@ -25,4 +25,8 @@ for t in rc_common_tests rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests r
   echo "== ${t} (ASan+UBSan) =="
   "${BUILD_DIR}/tests/${t}" "$@"
 done
+# Combiner stress runs regardless of any caller filter: the slot lifetime
+# (stack-allocated, shared across parked threads) is exactly what ASan vets.
+echo "== rc_core_tests (ASan+UBSan, combiner park/flush races) =="
+"${BUILD_DIR}/tests/rc_core_tests" --gtest_filter='BatchCombiner*'
 echo "ASan+UBSan check passed: no memory or UB reports."

@@ -12,10 +12,13 @@ BUILD_DIR="${RC_TSAN_BUILD_DIR:-${REPO_ROOT}/build-tsan}"
 cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRC_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j"$(nproc)" --target rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests rc_net_tests
+cmake --build "${BUILD_DIR}" -j"$(nproc)" \
+  --target rc_common_tests rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests rc_net_tests
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
+echo "== rc_common_tests (TSan) =="
+"${BUILD_DIR}/tests/rc_common_tests" "$@"
 echo "== rc_obs_tests (TSan) =="
 "${BUILD_DIR}/tests/rc_obs_tests" "$@"
 echo "== rc_ml_tests (TSan) =="
@@ -26,4 +29,8 @@ echo "== rc_core_tests (TSan) =="
 "${BUILD_DIR}/tests/rc_core_tests" "$@"
 echo "== rc_net_tests (TSan) =="
 "${BUILD_DIR}/tests/rc_net_tests" "$@"
+# The combiner park/flush/shutdown races run regardless of any caller filter:
+# they are the TSan targets the batching combiner was written against.
+echo "== rc_core_tests (TSan, combiner park/flush races) =="
+"${BUILD_DIR}/tests/rc_core_tests" --gtest_filter='BatchCombiner*'
 echo "TSan check passed: no data races reported."

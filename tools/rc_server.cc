@@ -37,6 +37,9 @@ void Usage() {
       "usage: rc_server [options]\n"
       "  --port P        listen port (default 7071; 0 = ephemeral)\n"
       "  --workers N     epoll worker threads (default 4)\n"
+      "  --combiner M    cross-request batching: off | shared | worker\n"
+      "                  (default shared; see DESIGN.md \"Cross-request batching\")\n"
+      "  --combiner-wait-us W  coalescing window in microseconds (default 40)\n"
       "  --vms N         synthetic workload size when no trace given (default 20000)\n"
       "  --trace PATH    train from a trace CSV instead of the synthetic workload\n"
       "  --days D        trace observation window in days (default 90)\n"
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
   int days = 90, train_days = -1;
   std::string trace_path;
   bool smoke = false;
+  rc::net::CombinerMode combiner_mode = rc::net::CombinerMode::kShared;
+  int64_t combiner_wait_us = 40;
   for (int i = 1; i < argc; ++i) {
     auto need = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -73,6 +78,20 @@ int main(int argc, char** argv) {
       days = std::atoi(need("--days"));
     } else if (std::strcmp(argv[i], "--train-days") == 0) {
       train_days = std::atoi(need("--train-days"));
+    } else if (std::strcmp(argv[i], "--combiner") == 0) {
+      std::string mode = need("--combiner");
+      if (mode == "off") {
+        combiner_mode = rc::net::CombinerMode::kOff;
+      } else if (mode == "shared") {
+        combiner_mode = rc::net::CombinerMode::kShared;
+      } else if (mode == "worker") {
+        combiner_mode = rc::net::CombinerMode::kPerWorker;
+      } else {
+        std::cerr << "--combiner must be off, shared, or worker\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--combiner-wait-us") == 0) {
+      combiner_wait_us = std::atoll(need("--combiner-wait-us"));
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
@@ -122,6 +141,8 @@ int main(int argc, char** argv) {
   server_config.port = static_cast<uint16_t>(smoke ? 0 : port);
   server_config.num_workers = workers;
   server_config.metrics = &registry;
+  server_config.combiner_mode = combiner_mode;
+  server_config.combiner_max_wait_us = combiner_wait_us;
   rc::net::Server server(&client, server_config);
   if (!server.Start()) {
     std::cerr << "failed to bind 127.0.0.1:" << port << "\n";
