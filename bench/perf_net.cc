@@ -78,6 +78,9 @@ struct Options {
   size_t combiner_max_batch = 64;  // flush-on-full threshold
   bool cache = true;      // server-side result cache (off isolates execution)
   bool compare = false;   // run combiner-off then --combiner mode, same load
+  // ExecEngine walk serving the server's predictions (auto/scalar/avx2/
+  // quantized); lets the net bench A/B the engine modes end-to-end.
+  rc::ml::ExecEngine::Mode engine_mode = rc::ml::ExecEngine::Mode::kAuto;
   // Ensemble size overrides (0 = bench defaults). The combiner acceptance
   // uses large forests so execution dominates the request path — that is the
   // regime where coalescing duplicate work is supposed to pay.
@@ -182,6 +185,7 @@ bool RecvResult(int fd, LoadResult* r) {
   rc::obs::MetricsRegistry registry;
   rc::core::ClientConfig client_config;
   client_config.metrics = &registry;
+  client_config.engine_mode = opt.engine_mode;
   if (!opt.cache) client_config.result_cache_capacity = 0;
   rc::core::Client client(&store, client_config);
   if (!client.Initialize()) _exit(4);
@@ -450,6 +454,13 @@ int main(int argc, char** argv) {
         std::cerr << "--cache must be on or off\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--engine-mode") == 0) {
+      auto parsed = rc::ml::ExecEngine::ParseMode(next());
+      if (!parsed) {
+        std::cerr << "--engine-mode must be auto, scalar, avx2, or quantized\n";
+        return 2;
+      }
+      opt.engine_mode = *parsed;
     } else if (std::strcmp(argv[i], "--compare") == 0) {
       opt.compare = true;
     } else if (std::strcmp(argv[i], "--trees") == 0) {
@@ -461,7 +472,8 @@ int main(int argc, char** argv) {
                    "                [--duration-s S] [--keys K] [--zipf S] [--many-ratio R]\n"
                    "                [--batch B] [--models 1|2] [--combiner off|shared|worker]\n"
                    "                [--combiner-wait-us U] [--cache on|off] [--compare]\n"
-                   "                [--trees N] [--gbt-rounds N]\n";
+                   "                [--trees N] [--gbt-rounds N]\n"
+                   "                [--engine-mode auto|scalar|avx2|quantized]\n";
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
   }

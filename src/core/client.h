@@ -45,6 +45,7 @@
 #include "src/core/model_spec.h"
 #include "src/core/prediction.h"
 #include "src/ml/classifier.h"
+#include "src/ml/exec_engine.h"
 #include "src/obs/metrics.h"
 #include "src/store/disk_cache.h"
 #include "src/store/kv_store.h"
@@ -113,6 +114,20 @@ struct ClientConfig {
   // Cross-request batching of PredictSingle cache misses (the tentpole knob;
   // see BatchCombiner).
   CombinerOptions combiner;
+
+  // --- execution engine walk selection (DESIGN.md "Execution engine") ---
+  // Which ExecEngine walk serves this client's predictions. kAuto (default)
+  // picks the fastest exact walk the host supports — the AVX2 kernel when
+  // compiled in and CPUID agrees, else the portable scalar walk; both return
+  // bit-identical probabilities. kQuantized selects the u16 cache-resident
+  // pool (~0.45x the f64 footprint; probabilities within leaf-table
+  // quantization tolerance) and degrades to kAuto for models it cannot
+  // represent. Stamped on each model once at ingest — never consulted on the
+  // prediction hot path.
+  rc::ml::ExecEngine::Mode engine_mode = rc::ml::ExecEngine::Mode::kAuto;
+  // Per-model exceptions to engine_mode, keyed by model name (e.g. pin one
+  // memory-heavy model to kQuantized while the rest stay exact).
+  std::unordered_map<std::string, rc::ml::ExecEngine::Mode> engine_mode_overrides;
 
   // --- observability (DESIGN.md "Observability") ---
   // Registry receiving this client's `rc_client_*` instruments. Null (the
@@ -218,6 +233,9 @@ class Client {
     // batched hot path needs no virtual dispatch. Owned by `model` (which
     // this entry holds); null for classifier types without a compiled form.
     const rc::ml::ExecEngine* engine = nullptr;
+    // Engine walk for this model (config engine_mode / per-model override),
+    // stamped at ingest; the engine resolves it to what the host supports.
+    rc::ml::ExecEngine::Mode mode = rc::ml::ExecEngine::Mode::kAuto;
 
     bool ready() const { return model != nullptr && featurizer != nullptr; }
   };
@@ -312,6 +330,10 @@ class Client {
   };
   IngestResult IngestLocked(ClientState& state, const std::string& key,
                             const rc::store::VersionedBlob& blob);
+  // config_.engine_mode_overrides[name] if present, else config_.engine_mode.
+  rc::ml::ExecEngine::Mode EngineModeFor(const std::string& name) const;
+  // Exports rc_client_model_bytes{model,pool} for a freshly compiled engine.
+  void ExportModelBytes(const std::string& name, const rc::ml::ExecEngine& engine);
   bool LoadModelLocked(ClientState& state, const std::string& model_name, bool allow_store);
   bool LoadFeaturesLocked(ClientState& state, uint64_t subscription_id, bool allow_store);
   std::optional<rc::store::VersionedBlob> FetchLocked(const std::string& key,

@@ -1,0 +1,173 @@
+// The AVX2 walk kernel for ExecEngine — the only translation unit in the
+// repo built with -mavx2 -mfma (see exec_engine_simd.h for why). Guarded so
+// the same file compiles to stubs when RC_ENABLE_AVX2 is off or the target
+// ISA is not x86_64.
+#include "src/ml/exec_engine_simd.h"
+
+#if defined(RC_EXEC_ENGINE_AVX2_TU) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+// GCC's gather intrinsics seed the unmasked destination with
+// _mm256_undefined_pd(), which -Wall misreads as a real uninitialized use.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace rc::ml::internal {
+
+bool CompiledWithAvx2() { return true; }
+
+namespace {
+
+// Shared per-round state for the 8-wide descent step: pool pointers plus the
+// in-group row offsets and the mask-repack permutation. The packed child
+// pairs are addressed as their 32-bit halves — left links at even dwords,
+// right at odd (exec_engine.h) — because full-width vpgatherdd at scale 8
+// fetches 8 lanes' worth of each half in one instruction, and a 64-bit pair
+// gather (vpgatherdq), though one instruction fewer, measures ~2x slower
+// than vpgatherdd on the targeted parts.
+struct StepCtx {
+  const int32_t* feat;
+  const double* thr;
+  const int* pair_lo;
+  const int* pair_hi;
+  __m128i row_off;     // {0, s, 2s, 3s}
+  __m256i fix_order;   // see Step8
+};
+
+// One descent round for one 8-lane chain; rows j..j+3 are based at `b0`,
+// rows j+4..j+7 at `b1`, both using the same {0,s,2s,3s} offsets so the row
+// index arithmetic stays within the int32 gather-index guard. Node indices,
+// feature indices, child links, and the descend masks are 8 x i32 in one
+// ymm; only the f64 threshold/input gathers and the compare split into
+// lo/hi 4-wide halves (a ymm holds 4 doubles). Per 8 lanes that is 7
+// gathers — feat, thr lo/hi, x lo/hi, left, right — versus 10 for
+// four-lane groups, and the i32 bookkeeping (done/select/blend) runs once
+// per 8 lanes instead of twice.
+//
+// A lane already at a leaf (negative link) has all-ones in `done`: it
+// harmlessly re-reads node 0 and keeps its link through the final blend,
+// exactly as in the scalar branchless step. _CMP_LT_OQ is ordered
+// non-signaling less-than — false on NaN in either operand, matching the
+// scalar `x < threshold` descend rule.
+inline __attribute__((always_inline)) __m256i Step8(const StepCtx& c, __m256i l,
+                                                    const double* b0,
+                                                    const double* b1) {
+  const __m256i done = _mm256_srai_epi32(l, 31);
+  const __m256i u8 = _mm256_andnot_si256(done, l);  // l & ~done
+  const __m128i u_lo = _mm256_castsi256_si128(u8);
+  const __m128i u_hi = _mm256_extracti128_si256(u8, 1);
+  const __m256i f8 = _mm256_i32gather_epi32(c.feat, u8, 4);
+  const __m256d t_lo = _mm256_i32gather_pd(c.thr, u_lo, 8);
+  const __m256d t_hi = _mm256_i32gather_pd(c.thr, u_hi, 8);
+  const __m128i xi_lo = _mm_add_epi32(c.row_off, _mm256_castsi256_si128(f8));
+  const __m128i xi_hi =
+      _mm_add_epi32(c.row_off, _mm256_extracti128_si256(f8, 1));
+  const __m256d xv_lo = _mm256_i32gather_pd(b0, xi_lo, 8);
+  const __m256d xv_hi = _mm256_i32gather_pd(b1, xi_hi, 8);
+  const __m256d lt_lo = _mm256_cmp_pd(xv_lo, t_lo, _CMP_LT_OQ);
+  const __m256d lt_hi = _mm256_cmp_pd(xv_hi, t_hi, _CMP_LT_OQ);
+  // The 64-bit compare masks are all-ones/all-zeros per lane, so their low
+  // dwords ARE the 32-bit masks: shuffle_ps picks them out as
+  // {m0,m1,m4,m5, m2,m3,m6,m7} and fix_order restores lane order.
+  const __m256 packed = _mm256_shuffle_ps(_mm256_castpd_ps(lt_lo),
+                                          _mm256_castpd_ps(lt_hi),
+                                          _MM_SHUFFLE(2, 0, 2, 0));
+  const __m256i go_left =
+      _mm256_permutevar8x32_epi32(_mm256_castps_si256(packed), c.fix_order);
+  const __m256i l8 = _mm256_i32gather_epi32(c.pair_lo, u8, 8);
+  const __m256i r8 = _mm256_i32gather_epi32(c.pair_hi, u8, 8);
+  const __m256i next = _mm256_blendv_epi8(r8, l8, go_left);
+  return _mm256_blendv_epi8(next, l, done);
+}
+
+inline StepCtx MakeCtx(const NodePoolView& pool, size_t stride) {
+  const int32_t s = static_cast<int32_t>(stride);
+  return StepCtx{pool.feature_idx, pool.threshold,
+                 reinterpret_cast<const int*>(pool.child_pair),
+                 reinterpret_cast<const int*>(pool.child_pair) + 1,
+                 _mm_setr_epi32(0, s, 2 * s, 3 * s),
+                 _mm256_setr_epi32(0, 1, 4, 5, 2, 3, 6, 7)};
+}
+
+}  // namespace
+
+// NOTE (both kernels): the chains' links live in named registers, not an
+// array — with an array GCC keeps the state on the stack, and the per-round
+// load/store round-trip through memory roughly halves kernel throughput.
+
+void WalkLanes16Avx2(const NodePoolView& pool, int32_t root, int32_t rounds,
+                     const double* X, size_t stride, int32_t* payload) {
+  const StepCtx c = MakeCtx(pool, stride);
+  __m256i link0 = _mm256_set1_epi32(root);
+  __m256i link1 = link0;
+  const double* base1 = X + 4 * stride;
+  const double* base2 = X + 8 * stride;
+  const double* base3 = X + 12 * stride;
+  for (int32_t r = 0; r < rounds; ++r) {
+    link0 = Step8(c, link0, X, base1);
+    link1 = Step8(c, link1, base2, base3);
+  }
+  // After `rounds` rounds every lane is at a leaf: payload = ~link.
+  const __m256i all_ones = _mm256_set1_epi32(-1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(payload),
+                      _mm256_xor_si256(link0, all_ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(payload + 8),
+                      _mm256_xor_si256(link1, all_ones));
+}
+
+void WalkLanes32Avx2(const NodePoolView& pool, int32_t root, int32_t rounds,
+                     const double* X, size_t stride, int32_t* payload) {
+  const StepCtx c = MakeCtx(pool, stride);
+  __m256i link0 = _mm256_set1_epi32(root);
+  __m256i link1 = link0, link2 = link0, link3 = link0;
+  const double* b1 = X + 4 * stride;
+  const double* b2 = X + 8 * stride;
+  const double* b3 = X + 12 * stride;
+  const double* b4 = X + 16 * stride;
+  const double* b5 = X + 20 * stride;
+  const double* b6 = X + 24 * stride;
+  const double* b7 = X + 28 * stride;
+  for (int32_t r = 0; r < rounds; ++r) {
+    link0 = Step8(c, link0, X, b1);
+    link1 = Step8(c, link1, b2, b3);
+    link2 = Step8(c, link2, b4, b5);
+    link3 = Step8(c, link3, b6, b7);
+  }
+  const __m256i all_ones = _mm256_set1_epi32(-1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(payload),
+                      _mm256_xor_si256(link0, all_ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(payload + 8),
+                      _mm256_xor_si256(link1, all_ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(payload + 16),
+                      _mm256_xor_si256(link2, all_ones));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(payload + 24),
+                      _mm256_xor_si256(link3, all_ones));
+}
+
+}  // namespace rc::ml::internal
+
+#else  // stub build: RC_ENABLE_AVX2 off, or not an x86_64 AVX2 TU
+
+#include <cstdlib>
+
+namespace rc::ml::internal {
+
+bool CompiledWithAvx2() { return false; }
+
+// ExecEngine resolves kAvx2 to kScalar when CompiledWithAvx2() is false;
+// reaching a stub means the dispatch contract was broken.
+void WalkLanes16Avx2(const NodePoolView&, int32_t, int32_t, const double*,
+                     size_t, int32_t*) {
+  std::abort();
+}
+
+void WalkLanes32Avx2(const NodePoolView&, int32_t, int32_t, const double*,
+                     size_t, int32_t*) {
+  std::abort();
+}
+
+}  // namespace rc::ml::internal
+
+#endif

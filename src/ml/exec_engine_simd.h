@@ -1,0 +1,52 @@
+// Internal interface between ExecEngine and its AVX2 walk kernel. The kernel
+// lives in its own translation unit (exec_engine_avx2.cc) because it is the
+// ONLY code in the repo compiled with -mavx2 -mfma (tools/check_all.sh lints
+// this): letting the ISA flags leak into any other TU would let the compiler
+// auto-vectorize portable code with AVX2 and crash older hosts before the
+// runtime dispatch in ExecEngine::Avx2Available() ever runs. When the CMake
+// option RC_ENABLE_AVX2 is off (or the target is not x86_64) the same TU
+// compiles to stubs and CompiledWithAvx2() reports false.
+#ifndef RC_SRC_ML_EXEC_ENGINE_SIMD_H_
+#define RC_SRC_ML_EXEC_ENGINE_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rc::ml::internal {
+
+// Borrowed pointers into ExecEngine's SoA node pool (exec_engine.h).
+// `child_pair` packs both 32-bit child links per node (left low, right high)
+// so the kernel fetches both descent candidates with one 64-bit gather.
+struct NodePoolView {
+  const int32_t* feature_idx;
+  const double* threshold;
+  const int64_t* child_pair;
+};
+
+// True when this binary contains the real AVX2 kernel (compile-time half of
+// the dispatch; ExecEngine::Avx2Available() adds the CPUID half).
+bool CompiledWithAvx2();
+
+// AVX2 lockstep walk of exactly 16 consecutive rows of X through the tree
+// rooted at `root` for exactly `rounds` comparison rounds: two 8-wide i32
+// chains, per-round `_mm256_i32gather_pd` on thresholds/features and
+// `_mm256_cmp_pd` (_CMP_LT_OQ — identical to scalar `<` on NaN/∞) + blends
+// to select child links. Bit-exact with ExecEngine::WalkLane by
+// construction: the kernel only *selects* leaf payload indices, it performs
+// no arithmetic. Preconditions: root >= 0, stride * 4 fits in int32 (the
+// dispatcher guards), and `payload` has room for 16 entries. Callers must
+// check CompiledWithAvx2() (via ExecEngine::Avx2Available()) first — the
+// stub build aborts.
+void WalkLanes16Avx2(const NodePoolView& pool, int32_t root, int32_t rounds,
+                     const double* X, size_t stride, int32_t* payload);
+
+// Same walk over exactly 32 consecutive rows (four 8-wide chains — the
+// preferred full-block shape: twice the independent gather chains in flight
+// and half the per-block call overhead, which is what shallow boosted trees
+// are bound by). Same preconditions; `payload` holds 32 entries.
+void WalkLanes32Avx2(const NodePoolView& pool, int32_t root, int32_t rounds,
+                     const double* X, size_t stride, int32_t* payload);
+
+}  // namespace rc::ml::internal
+
+#endif  // RC_SRC_ML_EXEC_ENGINE_SIMD_H_

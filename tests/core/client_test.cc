@@ -334,5 +334,75 @@ TEST_F(ClientTest, NoStoreNoDiskFailsInitialize) {
   EXPECT_FALSE(client.Initialize());
 }
 
+// Every engine mode must serve valid predictions through the full client
+// path (featurize -> engine walk -> argmax), and the exact modes must agree
+// with each other bucket-for-bucket (scalar and AVX2 are bit-identical;
+// quantized may differ only when two classes are within leaf-table
+// tolerance, which a trained model's argmax almost never is — we assert the
+// prediction is valid rather than equal for it).
+TEST_F(ClientTest, EngineModeServesPredictionsInEveryMode) {
+  using Mode = rc::ml::ExecEngine::Mode;
+  ClientInputs inputs = KnownInputs();
+  Prediction scalar;
+  for (Mode mode : {Mode::kScalar, Mode::kAuto, Mode::kAvx2, Mode::kQuantized}) {
+    ClientConfig config;
+    config.engine_mode = mode;
+    Client client(store_.get(), config);
+    ASSERT_TRUE(client.Initialize());
+    Prediction p = client.PredictSingle("VM_P95UTIL", inputs);
+    ASSERT_TRUE(p.valid) << rc::ml::ExecEngine::ModeName(mode);
+    EXPECT_GT(p.score, 0.0);
+    EXPECT_LE(p.score, 1.0);
+    if (mode == Mode::kScalar) {
+      scalar = p;
+    } else if (mode != Mode::kQuantized) {
+      EXPECT_EQ(p.bucket, scalar.bucket) << rc::ml::ExecEngine::ModeName(mode);
+      EXPECT_EQ(p.score, scalar.score) << rc::ml::ExecEngine::ModeName(mode);
+    }
+
+    // PredictMany runs the batched walk under the same stamped mode.
+    std::vector<ClientInputs> batch(5, inputs);
+    auto many = client.PredictMany("VM_P95UTIL", batch);
+    ASSERT_EQ(many.size(), batch.size());
+    for (const Prediction& m : many) {
+      ASSERT_TRUE(m.valid);
+      EXPECT_EQ(m.bucket, p.bucket);
+    }
+  }
+}
+
+TEST_F(ClientTest, EngineModeOverridesPinSingleModels) {
+  using Mode = rc::ml::ExecEngine::Mode;
+  ClientConfig config;
+  config.engine_mode = Mode::kScalar;
+  config.engine_mode_overrides["VM_AVGUTIL"] = Mode::kQuantized;
+  Client client(store_.get(), config);
+  ASSERT_TRUE(client.Initialize());
+  ClientInputs inputs = KnownInputs();
+  // Both models serve; the override only changes which walk runs.
+  EXPECT_TRUE(client.PredictSingle("VM_P95UTIL", inputs).valid);
+  EXPECT_TRUE(client.PredictSingle("VM_AVGUTIL", inputs).valid);
+}
+
+TEST_F(ClientTest, ModelBytesGaugeExportedPerModel) {
+  Client client(store_.get(), ClientConfig{});
+  ASSERT_TRUE(client.Initialize());
+  auto snapshot = client.metrics().Collect();
+  size_t f64_series = 0, quantized_series = 0;
+  for (const auto& g : snapshot.gauges) {
+    if (g.info.name != "rc_client_model_bytes") continue;
+    EXPECT_GT(g.value, 0.0) << g.info.labels;
+    EXPECT_NE(g.info.labels.find("model="), std::string::npos) << g.info.labels;
+    if (g.info.labels.find("pool=\"f64\"") != std::string::npos) ++f64_series;
+    if (g.info.labels.find("pool=\"quantized\"") != std::string::npos) {
+      ++quantized_series;
+    }
+  }
+  // Six published models, each with a compiled engine; the quantized series
+  // exists for every model the u16 pool can represent (all of them here).
+  EXPECT_EQ(f64_series, 6u);
+  EXPECT_EQ(quantized_series, 6u);
+}
+
 }  // namespace
 }  // namespace rc::core

@@ -17,8 +17,34 @@ cmake --build "${BUILD_DIR}" -j"$(nproc)"
 echo "== ctest =="
 ctest --test-dir "${BUILD_DIR}" -j"$(nproc)" --output-on-failure
 
-echo "== exec-engine parity (bit-exact vs legacy traversal) =="
+echo "== exec-engine parity (scalar / avx2 / quantized walks) =="
+"${BUILD_DIR}/bench/perf_exec_engine" --dispatch
 "${BUILD_DIR}/tests/rc_ml_tests" --gtest_filter='ExecEngine*'
+# Rerun with the AVX2 kill-switch set so CI exercises the portable scalar
+# fallback even on AVX2 hardware (on non-AVX2 hosts both runs are scalar).
+echo "-- scalar fallback (RC_DISABLE_AVX2=1) --"
+RC_DISABLE_AVX2=1 "${BUILD_DIR}/tests/rc_ml_tests" --gtest_filter='ExecEngine*'
+
+echo "== SIMD flag isolation lint =="
+# exec_engine_avx2.cc must stay the ONLY translation unit built with AVX2
+# flags: if -mavx2 leaks into any other target, the compiler may
+# auto-vectorize portable code and crash pre-AVX2 hosts before the runtime
+# dispatch ever runs (see exec_engine_simd.h).
+MAVX2_CMAKE="$(grep -rl --include='CMakeLists.txt' --exclude-dir='build*' \
+  -e '-mavx2' "${REPO_ROOT}" || true)"
+if [[ "${MAVX2_CMAKE}" != "${REPO_ROOT}/src/ml/CMakeLists.txt" ]]; then
+  echo "FAIL: -mavx2 must appear only in src/ml/CMakeLists.txt; found:" >&2
+  echo "${MAVX2_CMAKE}" >&2
+  exit 1
+fi
+if [[ -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  if grep -e '-mavx2' "${BUILD_DIR}/compile_commands.json" \
+      | grep -v 'exec_engine_avx2.cc'; then
+    echo "FAIL: -mavx2 leaked beyond exec_engine_avx2.cc (see above)" >&2
+    exit 1
+  fi
+fi
+echo "-mavx2 is confined to the exec_engine_avx2.cc kernel TU."
 
 echo "== metrics exposition smoke check =="
 EXPO="$(RC_METRICS_DUMP=1 "${BUILD_DIR}/examples/quickstart")"
@@ -31,6 +57,7 @@ REQUIRED_FAMILIES=(
   rc_client_store_read_latency_us
   rc_client_degraded_reason
   rc_client_breaker_trips
+  rc_client_model_bytes
   rc_store_puts
   rc_store_gets
   rc_store_get_latency_us

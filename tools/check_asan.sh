@@ -29,4 +29,9 @@ done
 # (stack-allocated, shared across parked threads) is exactly what ASan vets.
 echo "== rc_core_tests (ASan+UBSan, combiner park/flush races) =="
 "${BUILD_DIR}/tests/rc_core_tests" --gtest_filter='BatchCombiner*'
+# The exec-engine suites always run too: the walks index gathered/selected
+# node links into pool arrays, and the batched kernels read whole SIMD blocks
+# — exactly the out-of-bounds shapes ASan exists to vet.
+echo "== rc_ml_tests (ASan+UBSan, exec-engine parity) =="
+"${BUILD_DIR}/tests/rc_ml_tests" --gtest_filter='ExecEngine*'
 echo "ASan+UBSan check passed: no memory or UB reports."
