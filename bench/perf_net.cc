@@ -27,11 +27,13 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <random>
 #include <sstream>
 #include <string>
@@ -43,10 +45,16 @@
 #include "src/common/table_printer.h"
 #include "src/core/client.h"
 #include "src/core/offline_pipeline.h"
+#include "src/net/admin_server.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/obs/export.h"
+#include "src/obs/trace_context.h"
 #include "src/store/kv_store.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 
 namespace {
 
@@ -86,6 +94,11 @@ struct Options {
   // regime where coalescing duplicate work is supposed to pay.
   int trees = 0;
   int gbt_rounds = 0;
+  // Arms the full observability surface under load: the server mounts the
+  // admin endpoint, samples one request in 128 for /tracez, and the parent
+  // scrapes /metrics + /tracez at ~1 Hz for the whole run. Lets
+  // EXPERIMENTS.md quote the armed-vs-unarmed overhead from the same bench.
+  bool admin_scrape = false;
 };
 
 // Zipf(s) over [0, n) via the precomputed CDF: fine for working sets up to
@@ -201,8 +214,23 @@ bool RecvResult(int fd, LoadResult* r) {
   rc::net::Server server(&client, server_config);
   if (!server.Start()) _exit(5);
 
-  uint16_t port = server.port();
-  WriteAll(port_fd, &port, sizeof(port));
+  std::unique_ptr<rc::net::AdminServer> admin;
+  if (opt.admin_scrape) {
+    rc::obs::Tracer::Global().SetSampleEvery(128);
+    admin = std::make_unique<rc::net::AdminServer>(rc::net::AdminServerConfig{});
+    admin->Handle("/metrics", [&registry] {
+      return rc::net::AdminServer::Response{200, "text/plain; version=0.0.4; charset=utf-8",
+                                            rc::obs::PrometheusText(registry)};
+    });
+    admin->Handle("/tracez", [] {
+      return rc::net::AdminServer::Response{200, "application/json",
+                                            rc::obs::TraceStore::Global().TracezJson()};
+    });
+    if (!admin->Start()) _exit(6);
+  }
+
+  uint16_t ports[2] = {server.port(), admin ? admin->port() : uint16_t{0}};
+  WriteAll(port_fd, ports, sizeof(ports));
   close(port_fd);
 
   static volatile std::sig_atomic_t stop = 0;
@@ -300,6 +328,36 @@ bool RecvResult(int fd, LoadResult* r) {
   _exit(0);
 }
 
+// One blocking HTTP/1.0 GET against the server child's admin endpoint.
+// Returns the bytes read (0 on any failure) — the scraper only needs to
+// prove the endpoint answered under load, not parse the body.
+size_t ScrapeOnce(uint16_t admin_port, const char* path) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(admin_port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return 0;
+  }
+  std::string request = std::string("GET ") + path + " HTTP/1.0\r\n\r\n";
+  if (write(fd, request.data(), request.size()) != static_cast<ssize_t>(request.size())) {
+    close(fd);
+    return 0;
+  }
+  size_t total = 0;
+  char buf[8192];
+  for (;;) {
+    ssize_t r = read(fd, buf, sizeof(buf));
+    if (r <= 0) break;
+    total += static_cast<size_t>(r);
+  }
+  close(fd);
+  return total;
+}
+
 const char* ModeName(rc::net::CombinerMode mode) {
   switch (mode) {
     case rc::net::CombinerMode::kOff: return "off";
@@ -335,24 +393,53 @@ RunSummary RunOnce(const rc::core::TrainedModels& trained,
     RunServer(trained, opt, mode, port_pipe[1]);
   }
   close(port_pipe[1]);
-  uint16_t port = 0;
-  if (!ReadAll(port_pipe[0], &port, sizeof(port))) {
+  uint16_t ports[2] = {0, 0};
+  if (!ReadAll(port_pipe[0], ports, sizeof(ports))) {
     std::cerr << "server child failed to start\n";
     close(port_pipe[0]);
     return summary;
   }
   close(port_pipe[0]);
+  const uint16_t port = ports[0];
+  const uint16_t admin_port = ports[1];
   std::cout << "server up on 127.0.0.1:" << port << " (" << opt.workers
             << " workers, combiner " << ModeName(mode) << ", cache "
             << (opt.cache ? "on" : "off") << "); driving " << opt.procs << " procs x "
             << opt.threads << " threads, zipf(" << opt.zipf_s << ") over " << keys.size()
             << " keys, " << opt.duration_s << "s...\n";
 
+  // Armed observability: scrape the admin endpoint at ~1 Hz for the whole
+  // run, alternating /metrics and /tracez, the way a Prometheus scraper and
+  // an operator tab would during an incident.
+  std::atomic<bool> scrape_stop{false};
+  std::thread scraper;
+  uint64_t scrapes = 0, scrape_failures = 0;
+  if (admin_port != 0) {
+    scraper = std::thread([&] {
+      bool tracez = false;
+      while (!scrape_stop.load(std::memory_order_acquire)) {
+        size_t n = ScrapeOnce(admin_port, tracez ? "/tracez" : "/metrics");
+        tracez = !tracez;
+        ++scrapes;
+        if (n == 0) ++scrape_failures;
+        for (int i = 0; i < 10 && !scrape_stop.load(std::memory_order_acquire); ++i) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      }
+    });
+  }
+
   std::vector<pid_t> load_pids;
   std::vector<int> result_fds;
   for (int p = 0; p < opt.procs; ++p) {
     int result_pipe[2];
-    if (pipe(result_pipe) != 0) return summary;
+    if (pipe(result_pipe) != 0) {
+      if (scraper.joinable()) {
+        scrape_stop.store(true, std::memory_order_release);
+        scraper.join();
+      }
+      return summary;
+    }
     pid_t pid = fork();
     if (pid == 0) {
       close(result_pipe[0]);
@@ -383,6 +470,16 @@ RunSummary RunOnce(const rc::core::TrainedModels& trained,
     total.many_us.insert(total.many_us.end(), r.many_us.begin(), r.many_us.end());
   }
   for (pid_t pid : load_pids) waitpid(pid, nullptr, 0);
+  if (scraper.joinable()) {
+    scrape_stop.store(true, std::memory_order_release);
+    scraper.join();
+    std::cout << "admin scraper: " << scrapes << " scrapes, " << scrape_failures
+              << " failures\n";
+    if (scrape_failures > 0) {
+      std::cerr << "admin endpoint failed under load\n";
+      return summary;  // summary.ok stays false: armed run must stay scrapable
+    }
+  }
   kill(server_pid, SIGTERM);
   waitpid(server_pid, nullptr, 0);
   if (failures > 0 || total.elapsed_s <= 0.0) {
@@ -463,6 +560,8 @@ int main(int argc, char** argv) {
       opt.engine_mode = *parsed;
     } else if (std::strcmp(argv[i], "--compare") == 0) {
       opt.compare = true;
+    } else if (std::strcmp(argv[i], "--admin-scrape") == 0) {
+      opt.admin_scrape = true;
     } else if (std::strcmp(argv[i], "--trees") == 0) {
       opt.trees = std::atoi(next());
     } else if (std::strcmp(argv[i], "--gbt-rounds") == 0) {
@@ -472,7 +571,7 @@ int main(int argc, char** argv) {
                    "                [--duration-s S] [--keys K] [--zipf S] [--many-ratio R]\n"
                    "                [--batch B] [--models 1|2] [--combiner off|shared|worker]\n"
                    "                [--combiner-wait-us U] [--cache on|off] [--compare]\n"
-                   "                [--trees N] [--gbt-rounds N]\n"
+                   "                [--trees N] [--gbt-rounds N] [--admin-scrape]\n"
                    "                [--engine-mode auto|scalar|avx2|quantized]\n";
       return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
     }
@@ -581,6 +680,16 @@ int main(int argc, char** argv) {
         static_cast<double>(r.errors));
   gauge("rc_bench_net_load_procs", "load generator processes", opt.procs);
   gauge("rc_bench_net_load_threads", "threads per load process", opt.threads);
+  if (opt.admin_scrape) {
+    // Armed runs publish under a distinct name so BENCH_net.json can hold
+    // both arms and EXPERIMENTS.md can quote the delta.
+    gauge("rc_bench_net_armed_predictions_per_s",
+          "predictions per second with admin endpoint scraped + 1/128 tracing",
+          r.predictions_per_s);
+    gauge("rc_bench_net_armed_single_p99_us",
+          "PredictSingle p99 with admin endpoint scraped + 1/128 tracing",
+          r.p99_single);
+  }
   rc::obs::MergeJsonMetricsFile(kBenchJson, registry);
   std::cout << "wrote " << kBenchJson << "\n";
   return (throughput_ok && latency_ok) ? 0 : 1;

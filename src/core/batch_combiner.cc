@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/trace_events.h"
+
 namespace rc::core {
 
 const char* ToString(CombineFlush flush) {
@@ -63,6 +65,7 @@ size_t BatchCombiner::pending() const {
 
 CombineResult BatchCombiner::Predict(const std::string& model,
                                      const ClientInputs& inputs) {
+  rc::obs::TraceSpan call_span("combiner/predict");
   m_.requests->Increment();
   if (config_.probe_result_cache) {
     if (auto cached = client_->ProbeResultCache(model, inputs)) {
@@ -97,6 +100,11 @@ CombineResult BatchCombiner::Predict(const std::string& model,
   }
   std::shared_ptr<Batch> batch = queue.open;
   batch->slots.push_back(&slot);
+  // The park span covers waiting plus result pickup; its context is
+  // published on the slot (under mu_, so the dispatching thread sees it)
+  // for the follows-from link to the batch dispatch.
+  rc::obs::TraceSpan park_span("combiner/park");
+  slot.trace = park_span.context();
   pending_ += 1;
   m_.pending->Set(static_cast<double>(pending_));
 
@@ -137,6 +145,7 @@ CombineResult BatchCombiner::Predict(const std::string& model,
     return aborted;
   }
   m_.wait_us->Record(static_cast<double>(clock_->NowUs() - parked_at_us));
+  park_span.SetLink(slot.link_trace_id, slot.link_span_id);
   CombineResult out;
   out.prediction = slot.result;
   out.degraded = slot.degraded;
@@ -187,7 +196,15 @@ void BatchCombiner::DispatchLocked(std::unique_lock<std::mutex>& lock,
   lock.unlock();
   // One snapshot load, one batched ExecEngine walk, identical results to the
   // per-request path input-for-input (PredictMany's pinned guarantee).
-  std::vector<Prediction> results = client_->PredictMany(model, rows);
+  rc::obs::TraceContext dispatch_ctx;
+  std::vector<Prediction> results;
+  {
+    // Parents under the dispatching caller's own park span; the other
+    // coalesced callers reach it through follows-from links.
+    rc::obs::TraceSpan dispatch_span("combiner/dispatch");
+    results = client_->PredictMany(model, rows);
+    dispatch_ctx = dispatch_span.context();
+  }
   DegradedReason degraded = client_->degraded_reason();
   lock.lock();
 
@@ -200,6 +217,15 @@ void BatchCombiner::DispatchLocked(std::unique_lock<std::mutex>& lock,
     s->flush = reason;
     s->batch_size = n;
     s->batch_id = id;
+    s->link_trace_id = dispatch_ctx.trace_id;
+    s->link_span_id = dispatch_ctx.span_id;
+    if (s->trace.valid()) {
+      // Zero-duration marker in the caller's trace pointing at the dispatch
+      // that actually did its work (follows-from, not parent-child: the
+      // dispatch ran on another caller's stack in a different trace).
+      rc::obs::RecordSpanUnder("combiner/coalesced", s->trace, rc::obs::NowNs(), 0,
+                               dispatch_ctx.trace_id, dispatch_ctx.span_id);
+    }
     s->done = true;
   }
   pending_ -= n;

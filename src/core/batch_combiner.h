@@ -47,6 +47,7 @@
 #include "src/core/client.h"
 #include "src/core/prediction.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace_context.h"
 
 namespace rc::core {
 
@@ -135,6 +136,13 @@ class BatchCombiner {
     uint64_t batch_id = 0;
     bool done = false;
     bool aborted = false;
+    // The caller's combiner/park span, captured at park time. The dispatching
+    // thread records a follows-from marker under it and fills link_* with the
+    // combiner/dispatch span's identity, so every coalesced caller's trace
+    // points at the one dispatch that did its work (and vice versa).
+    rc::obs::TraceContext trace;
+    uint64_t link_trace_id = 0;
+    uint64_t link_span_id = 0;
   };
 
   struct Batch {

@@ -401,6 +401,8 @@ Client::IngestResult Client::IngestLocked(ClientState& state, const std::string&
       // stamp the configured walk mode so Execute never consults the config.
       entry->engine = entry->model->engine();
       entry->mode = EngineModeFor(name);
+      entry->blob_version = blob.version;
+      entry->loaded_at_ns = rc::obs::NowNs();
       if (entry->engine != nullptr) ExportModelBytes(name, *entry->engine);
       // The spec may arrive before or after the model; featurizer is built
       // when both are present.
@@ -417,6 +419,8 @@ Client::IngestResult Client::IngestLocked(ClientState& state, const std::string&
         entry->engine = it->second->engine;
       }
       entry->mode = EngineModeFor(spec.name);
+      entry->blob_version = blob.version;
+      entry->loaded_at_ns = rc::obs::NowNs();
       entry->spec = spec;
       entry->featurizer = std::make_shared<Featurizer>(spec.metric, spec.encoding);
       state.models[spec.name] = std::move(entry);
@@ -855,6 +859,34 @@ ClientStats Client::stats() const {
   out.reload_timeouts = m_.reload_timeouts->Value();
   out.degraded_reason =
       static_cast<DegradedReason>(degraded_reason_.load(std::memory_order_relaxed));
+  return out;
+}
+
+HealthSnapshot Client::Health() const {
+  HealthSnapshot out;
+  out.degraded = degraded_reason();
+  {
+    // The breaker fields are only ever written under writer_mu_; a brief
+    // admin-path lock beats widening them to atomics.
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    out.breaker_open = breaker_open_;
+    out.consecutive_store_failures = consecutive_store_failures_;
+  }
+  StatePtr state = LoadState();
+  if (state != nullptr) {
+    out.models.reserve(state->models.size());
+    for (const auto& [name, entry] : state->models) {
+      ModelHealth mh;
+      mh.name = name;
+      mh.spec_version = entry->spec.version;
+      mh.blob_version = entry->blob_version;
+      mh.loaded_at_ns = entry->loaded_at_ns;
+      mh.ready = entry->ready();
+      out.models.push_back(std::move(mh));
+    }
+    std::sort(out.models.begin(), out.models.end(),
+              [](const ModelHealth& a, const ModelHealth& b) { return a.name < b.name; });
+  }
   return out;
 }
 

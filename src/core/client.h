@@ -156,6 +156,27 @@ enum class DegradedReason : uint8_t {
 };
 const char* ToString(DegradedReason reason);
 
+// Point-in-time serving-health view for /healthz (DESIGN.md "Tracing &
+// introspection"): the degradation state plus per-model snapshot identity,
+// so an operator can see not just *that* the client is degraded but which
+// models are stale and since when.
+struct ModelHealth {
+  std::string name;
+  uint64_t spec_version = 0;   // ModelSpec.version of the active spec
+  uint64_t blob_version = 0;   // store version of the last blob ingested
+  uint64_t loaded_at_ns = 0;   // obs::NowNs() when that blob was published
+  bool ready = false;          // model + featurizer both present
+};
+
+struct HealthSnapshot {
+  DegradedReason degraded = DegradedReason::kNone;
+  bool breaker_open = false;
+  int consecutive_store_failures = 0;
+  std::vector<ModelHealth> models;
+
+  bool healthy() const { return degraded == DegradedReason::kNone && !breaker_open; }
+};
+
 struct ClientStats {
   uint64_t result_hits = 0;
   uint64_t result_misses = 0;
@@ -210,6 +231,11 @@ class Client {
   // default private registry this is exactly this client's activity.
   ClientStats stats() const;
 
+  // Serving-health snapshot for the admin /healthz endpoint: degradation
+  // state, circuit-breaker position, and per-model version/age. Takes
+  // writer_mu_ briefly for the breaker fields — admin path, not hot path.
+  HealthSnapshot Health() const;
+
   // Current degradation state, lock-free (the same value stats() reports).
   DegradedReason degraded_reason() const {
     return static_cast<DegradedReason>(
@@ -236,6 +262,10 @@ class Client {
     // Engine walk for this model (config engine_mode / per-model override),
     // stamped at ingest; the engine resolves it to what the host supports.
     rc::ml::ExecEngine::Mode mode = rc::ml::ExecEngine::Mode::kAuto;
+    // Snapshot identity for /healthz: the store version of the last blob
+    // applied to this entry and when it was published.
+    uint64_t blob_version = 0;
+    uint64_t loaded_at_ns = 0;
 
     bool ready() const { return model != nullptr && featurizer != nullptr; }
   };
@@ -385,8 +415,9 @@ class Client {
   size_t shard_capacity_;
 
   // Serializes all state transitions (push listener, pull fills, reloads)
-  // and guards the disk mirror + known-key index below.
-  std::mutex writer_mu_;
+  // and guards the disk mirror + known-key index below. Mutable so the
+  // const Health() accessor can read the breaker fields it guards.
+  mutable std::mutex writer_mu_;
   std::vector<std::string> known_keys_;             // disk-index persistence order
   std::unordered_set<std::string> known_keys_set_;  // O(1) duplicate check
   int store_subscription_ = -1;

@@ -13,6 +13,7 @@
 #include "src/common/clock.h"
 #include "src/common/faults.h"
 #include "src/net/server.h"  // EINTR-safe read/write wrappers
+#include "src/obs/trace_events.h"
 
 namespace rc::net {
 
@@ -205,7 +206,7 @@ Status Client::RecvExact(Conn& conn, uint8_t* buf, size_t n, int64_t deadline_us
 }
 
 Status Client::Call(Opcode opcode, uint64_t request_id, const std::vector<uint8_t>& frame,
-                    std::vector<uint8_t>* payload, int64_t deadline_us) {
+                    std::vector<uint8_t>* payload, size_t* body_off, int64_t deadline_us) {
   uint64_t start_ns = rc::obs::NowNs();
   m_.requests->Increment();
   size_t slot;
@@ -227,7 +228,7 @@ Status Client::Call(Opcode opcode, uint64_t request_id, const std::vector<uint8_
                        deadline_us);
   }
   if (status == Status::kOk &&
-      (payload_len < kHeaderBytes || payload_len > config_.max_frame_bytes)) {
+      (payload_len < kHeaderBytesV1 || payload_len > config_.max_frame_bytes)) {
     status = Status::kProtocolError;
   }
   if (status == Status::kOk) {
@@ -240,6 +241,10 @@ Status Client::Call(Opcode opcode, uint64_t request_id, const std::vector<uint8_
     if (DecodeHeader(r, &header) != WireStatus::kOk ||
         header.opcode != static_cast<uint16_t>(opcode) || header.request_id != request_id) {
       status = Status::kProtocolError;
+    } else {
+      // DecodeHeader consumed the (version-dependent) header; the body
+      // starts wherever the reader stopped.
+      *body_off = payload->size() - r.remaining();
     }
   }
 
@@ -262,12 +267,19 @@ Status Client::PredictSingle(const std::string& model, const core::ClientInputs&
                              core::Prediction* out, int64_t deadline_us) {
   int64_t deadline = DeadlineFor(deadline_us);
   uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  // The client is where traces are born: continue the caller's context if
+  // one is current, otherwise roll the sampling dice for a new root. The
+  // span's own id rides the frame so the server's spans parent under it.
+  rc::obs::TraceContext root = rc::obs::CurrentTraceContext();
+  if (!root.valid()) root = rc::obs::Tracer::Global().StartTrace();
+  rc::obs::TraceSpan span("netclient/call", root);
   std::vector<uint8_t> frame;
-  AppendPredictSingleRequest(frame, id, model, inputs);
+  AppendPredictSingleRequest(frame, id, model, inputs, span.context());
   std::vector<uint8_t> payload;
-  Status status = Call(Opcode::kPredictSingle, id, frame, &payload, deadline);
+  size_t body_off = 0;
+  Status status = Call(Opcode::kPredictSingle, id, frame, &payload, &body_off, deadline);
   if (status != Status::kOk) return status;
-  rc::ml::ByteReader r(payload.data() + kHeaderBytes, payload.size() - kHeaderBytes);
+  rc::ml::ByteReader r(payload.data() + body_off, payload.size() - body_off);
   WireStatus remote;
   std::string error;
   core::Prediction p;
@@ -287,12 +299,16 @@ Status Client::PredictMany(const std::string& model, std::span<const core::Clien
                            std::vector<core::Prediction>* out, int64_t deadline_us) {
   int64_t deadline = DeadlineFor(deadline_us);
   uint64_t id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  rc::obs::TraceContext root = rc::obs::CurrentTraceContext();
+  if (!root.valid()) root = rc::obs::Tracer::Global().StartTrace();
+  rc::obs::TraceSpan span("netclient/call", root);
   std::vector<uint8_t> frame;
-  AppendPredictManyRequest(frame, id, model, inputs);
+  AppendPredictManyRequest(frame, id, model, inputs, span.context());
   std::vector<uint8_t> payload;
-  Status status = Call(Opcode::kPredictMany, id, frame, &payload, deadline);
+  size_t body_off = 0;
+  Status status = Call(Opcode::kPredictMany, id, frame, &payload, &body_off, deadline);
   if (status != Status::kOk) return status;
-  rc::ml::ByteReader r(payload.data() + kHeaderBytes, payload.size() - kHeaderBytes);
+  rc::ml::ByteReader r(payload.data() + body_off, payload.size() - body_off);
   WireStatus remote;
   std::string error;
   std::vector<core::Prediction> predictions;
@@ -314,9 +330,10 @@ Status Client::Health(HealthResponse* out, int64_t deadline_us) {
   std::vector<uint8_t> frame;
   AppendHealthRequest(frame, id);
   std::vector<uint8_t> payload;
-  Status status = Call(Opcode::kHealth, id, frame, &payload, deadline);
+  size_t body_off = 0;
+  Status status = Call(Opcode::kHealth, id, frame, &payload, &body_off, deadline);
   if (status != Status::kOk) return status;
-  rc::ml::ByteReader r(payload.data() + kHeaderBytes, payload.size() - kHeaderBytes);
+  rc::ml::ByteReader r(payload.data() + body_off, payload.size() - body_off);
   WireStatus remote;
   std::string error;
   HealthResponse health;

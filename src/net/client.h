@@ -100,10 +100,12 @@ class Client {
   void Disconnect(Conn& conn);
 
   // One full round-trip: lease, connect, send `frame`, receive the matching
-  // response, fill `payload` with the response body (header already
-  // validated against `request_id` and `opcode`).
+  // response, fill `payload` with the response frame (header already
+  // validated against `request_id` and `opcode`). `body_off` receives the
+  // offset of the opcode body inside `payload` — v2 headers are variable
+  // length (optional trace block), so callers must not assume kHeaderBytes.
   Status Call(Opcode opcode, uint64_t request_id, const std::vector<uint8_t>& frame,
-              std::vector<uint8_t>* payload, int64_t deadline_us);
+              std::vector<uint8_t>* payload, size_t* body_off, int64_t deadline_us);
 
   Status SendAll(Conn& conn, const std::vector<uint8_t>& bytes, int64_t deadline_us);
   // Reads exactly n bytes into buf, polling against the deadline.

@@ -9,10 +9,22 @@
 //   offset  size  field
 //        0     4  payload_len   (bytes after this field; <= max_frame_bytes)
 //        4     4  magic         'RCNP' (0x504E4352 little-endian)
-//        8     2  version       kProtocolVersion
+//        8     2  version       1 (legacy) or 2
 //       10     2  opcode        Opcode (request) / same opcode echoed (response)
 //       12     8  request_id    echoed verbatim in the response
-//       20     …  body          opcode-specific
+//   v2 only:
+//       20     1  flags         bit 0: trace-context block follows
+//   v2, flags bit 0 set:
+//       21     8  trace_id      rc::obs::TraceContext propagated end-to-end
+//       29     8  span_id       the sender's span (becomes the parent here)
+//       37     1  sampled
+//        …     …  body          opcode-specific
+//
+// Version 2 adds the flags byte and the optional trace-context block
+// (DESIGN.md "Tracing & introspection"); version-1 frames are still decoded
+// (no flags byte) and answered with version-1 responses, so old peers keep
+// round-tripping against a new server. Unknown v2 flag bits are kMalformed:
+// the frame length cannot be interpreted without knowing every block.
 //
 // Response bodies always begin with a u16 WireStatus; a non-kOk status is
 // followed by a length-prefixed error string and nothing else. Integers are
@@ -30,13 +42,21 @@
 
 #include "src/core/prediction.h"
 #include "src/ml/bytes.h"
+#include "src/obs/trace_context.h"
 
 namespace rc::net {
 
 inline constexpr uint32_t kMagic = 0x504E4352u;  // "RCNP" in LE byte order
-inline constexpr uint16_t kProtocolVersion = 1;
-// Frame header after the length prefix: magic + version + opcode + request id.
-inline constexpr size_t kHeaderBytes = 4 + 2 + 2 + 8;
+inline constexpr uint16_t kProtocolVersion = 2;
+inline constexpr uint16_t kProtocolVersionV1 = 1;  // legacy, still accepted
+// Fixed v2 header after the length prefix: magic + version + opcode +
+// request id + flags. The optional trace block is not part of this count.
+inline constexpr size_t kHeaderBytes = 4 + 2 + 2 + 8 + 1;
+// The v1 header had no flags byte.
+inline constexpr size_t kHeaderBytesV1 = 4 + 2 + 2 + 8;
+// Optional v2 trace-context block: trace_id + span_id + sampled.
+inline constexpr size_t kTraceWireBytes = 8 + 8 + 1;
+inline constexpr uint8_t kFlagTraceContext = 0x01;
 inline constexpr size_t kLengthPrefixBytes = 4;
 // Default ceiling on payload_len; a peer announcing more is answered with
 // kFrameTooLarge and disconnected (the stream cannot be resynchronized
@@ -70,6 +90,8 @@ struct FrameHeader {
   uint16_t version = kProtocolVersion;
   uint16_t opcode = 0;
   uint64_t request_id = 0;
+  uint8_t flags = 0;         // v2 only; 0 for decoded v1 frames
+  obs::TraceContext trace;   // filled when kFlagTraceContext was set
 };
 
 struct PredictSingleRequest {
@@ -94,34 +116,48 @@ struct HealthResponse {
 
 // --- encode (append a complete frame, length prefix included, to `out`) ---
 
+// `version` selects the header layout (responses echo the request's
+// version so legacy peers can parse their replies); `trace`, when valid,
+// rides in the v2 trace-context block and is ignored for v1 frames.
 void AppendFrame(std::vector<uint8_t>& out, Opcode opcode, uint64_t request_id,
-                 std::span<const uint8_t> body);
+                 std::span<const uint8_t> body,
+                 uint16_t version = kProtocolVersion,
+                 const obs::TraceContext& trace = {});
 
 void AppendPredictSingleRequest(std::vector<uint8_t>& out, uint64_t request_id,
-                                const std::string& model, const core::ClientInputs& inputs);
+                                const std::string& model, const core::ClientInputs& inputs,
+                                const obs::TraceContext& trace = {});
 void AppendPredictManyRequest(std::vector<uint8_t>& out, uint64_t request_id,
                               const std::string& model,
-                              std::span<const core::ClientInputs> inputs);
+                              std::span<const core::ClientInputs> inputs,
+                              const obs::TraceContext& trace = {});
 void AppendHealthRequest(std::vector<uint8_t>& out, uint64_t request_id);
 
 void AppendPredictSingleResponse(std::vector<uint8_t>& out, uint64_t request_id,
-                                 const core::Prediction& prediction);
+                                 const core::Prediction& prediction,
+                                 uint16_t version = kProtocolVersion);
 void AppendPredictManyResponse(std::vector<uint8_t>& out, uint64_t request_id,
-                               std::span<const core::Prediction> predictions);
+                               std::span<const core::Prediction> predictions,
+                               uint16_t version = kProtocolVersion);
 void AppendHealthResponse(std::vector<uint8_t>& out, uint64_t request_id,
-                          const HealthResponse& health);
+                          const HealthResponse& health,
+                          uint16_t version = kProtocolVersion);
 // Error response for any opcode: status + message, echoing the request id
 // (0 when the header itself was unreadable).
 void AppendErrorResponse(std::vector<uint8_t>& out, Opcode opcode, uint64_t request_id,
-                         WireStatus status, std::string_view message);
+                         WireStatus status, std::string_view message,
+                         uint16_t version = kProtocolVersion);
 
 // --- decode ---
 
 // Reads the fixed header from `r`, which must be positioned at the start of
-// a frame payload (after the length prefix). Returns kOk and fills `header`
-// when the header is structurally valid for this protocol version; a non-kOk
-// result tells the caller which error frame to answer with. The request id
-// is filled whenever at least the full header was present, so error replies
+// a frame payload (after the length prefix). Accepts versions 1 and 2 and
+// leaves the reader positioned at the opcode body either way (for v2 it
+// consumes the flags byte and, when present, the trace block — validated
+// against the remaining bytes before any body decoding). Returns kOk and
+// fills `header` when the header is structurally valid; a non-kOk result
+// tells the caller which error frame to answer with. The request id is
+// filled whenever at least the full header was present, so error replies
 // can echo it.
 WireStatus DecodeHeader(rc::ml::ByteReader& r, FrameHeader* header);
 

@@ -309,7 +309,10 @@ void Server::AdoptConnection(Worker& worker, int fd) {
 }
 
 bool Server::ReadReady(Worker& worker, Connection& conn) {
-  rc::obs::TraceSpan span("net/read_frame");
+  // Timed manually, not with a TraceSpan: the trace context arrives inside
+  // the frames this read produces, so the span is recorded retroactively per
+  // frame in HandleFrame (RecordSpanUnder) once the header is decoded.
+  conn.read_start_ns = rc::obs::NowNs();
   for (;;) {
     size_t old = conn.in.size();
     conn.in.resize(old + kReadChunk);
@@ -329,6 +332,7 @@ bool Server::ReadReady(Worker& worker, Connection& conn) {
     CloseConnection(worker, conn.fd);
     return false;
   }
+  conn.read_dur_ns = rc::obs::NowNs() - conn.read_start_ns;
   ProcessFrames(worker, conn);
   if (!WriteReady(worker, conn)) return false;
   return true;
@@ -363,12 +367,29 @@ void Server::HandleFrame(Worker& worker, Connection& conn, const uint8_t* payloa
   rc::ml::ByteReader r(payload, size);
   FrameHeader header;
   WireStatus status = DecodeHeader(r, &header);
-  // Echo the opcode when the header parsed far enough to carry one.
+  // Echo the opcode when the header parsed far enough to carry one, and the
+  // request's version so v1 peers can parse their replies (a garbage version
+  // is answered in v2 — that peer already failed the handshake).
   Opcode opcode = static_cast<Opcode>(header.opcode);
+  const uint16_t wire_version =
+      header.version == kProtocolVersionV1 ? kProtocolVersionV1 : kProtocolVersion;
   if (status != WireStatus::kOk) {
     m_.protocol_errors->Increment();
-    AppendErrorResponse(conn.out, opcode, header.request_id, status, ToString(status));
+    AppendErrorResponse(conn.out, opcode, header.request_id, status, ToString(status),
+                        wire_version);
     return;
+  }
+
+  // Adopt the propagated trace for this frame: spans below (net/predict, the
+  // combiner, the client) parent into the caller's tree. The socket read that
+  // delivered the frame is recorded retroactively as a sibling span, and the
+  // response write + server-side finish happen when the reply drains.
+  rc::obs::ScopedTraceContext trace_scope(header.trace);
+  if (header.trace.valid()) {
+    rc::obs::RecordSpanUnder("net/read_frame", header.trace, conn.read_start_ns,
+                             conn.read_dur_ns);
+    conn.pending_trace = header.trace;
+    conn.pending_trace_start_ns = conn.read_start_ns;
   }
 
   // Deterministic fault site for tests: injected latency delays the response
@@ -376,7 +397,7 @@ void Server::HandleFrame(Worker& worker, Connection& conn, const uint8_t* payloa
   rc::faults::InjectLatency("net/handle");
   if (rc::faults::InjectError("net/handle")) {
     AppendErrorResponse(conn.out, opcode, header.request_id, WireStatus::kInternal,
-                        "injected fault");
+                        "injected fault", wire_version);
     return;
   }
 
@@ -398,7 +419,7 @@ void Server::HandleFrame(Worker& worker, Connection& conn, const uint8_t* payloa
         p = client_->PredictSingle(req.model, req.inputs);
       }
       m_.predictions->Increment();
-      AppendPredictSingleResponse(conn.out, header.request_id, p);
+      AppendPredictSingleResponse(conn.out, header.request_id, p, wire_version);
       m_.request_latency_us->Record(static_cast<double>(rc::obs::NowNs() - start_ns) / 1000.0);
       return;
     }
@@ -408,7 +429,7 @@ void Server::HandleFrame(Worker& worker, Connection& conn, const uint8_t* payloa
       if (status != WireStatus::kOk) break;
       std::vector<core::Prediction> predictions = client_->PredictMany(req.model, req.inputs);
       m_.predictions->Increment(predictions.size());
-      AppendPredictManyResponse(conn.out, header.request_id, predictions);
+      AppendPredictManyResponse(conn.out, header.request_id, predictions, wire_version);
       m_.request_latency_us->Record(static_cast<double>(rc::obs::NowNs() - start_ns) / 1000.0);
       return;
     }
@@ -417,17 +438,19 @@ void Server::HandleFrame(Worker& worker, Connection& conn, const uint8_t* payloa
         status = WireStatus::kMalformed;
         break;
       }
-      AppendHealthResponse(conn.out, header.request_id, Health());
+      AppendHealthResponse(conn.out, header.request_id, Health(), wire_version);
       m_.request_latency_us->Record(static_cast<double>(rc::obs::NowNs() - start_ns) / 1000.0);
       return;
     }
   }
   m_.protocol_errors->Increment();
-  AppendErrorResponse(conn.out, opcode, header.request_id, status, ToString(status));
+  AppendErrorResponse(conn.out, opcode, header.request_id, status, ToString(status),
+                      wire_version);
 }
 
 bool Server::WriteReady(Worker& worker, Connection& conn) {
-  rc::obs::TraceSpan span("net/write_frame");
+  const bool had_output = conn.out_off < conn.out.size();
+  const uint64_t write_start_ns = had_output ? rc::obs::NowNs() : 0;
   while (conn.out_off < conn.out.size()) {
     ssize_t w =
         WriteEintr(conn.fd, conn.out.data() + conn.out_off, conn.out.size() - conn.out_off);
@@ -444,6 +467,18 @@ bool Server::WriteReady(Worker& worker, Connection& conn) {
   }
   conn.out.clear();
   conn.out_off = 0;
+  if (had_output && conn.pending_trace.valid()) {
+    // The response left the socket: record the write span into the caller's
+    // tree and finish the trace server-side — for traces rooted in a remote
+    // process nothing else would, and for loopback roots FinishTrace is
+    // idempotent (first caller classifies; late spans still attach).
+    const uint64_t now_ns = rc::obs::NowNs();
+    rc::obs::RecordSpanUnder("net/write_frame", conn.pending_trace, write_start_ns,
+                             now_ns - write_start_ns);
+    rc::obs::TraceStore::Global().FinishTrace(conn.pending_trace.trace_id,
+                                              now_ns - conn.pending_trace_start_ns);
+    conn.pending_trace = rc::obs::TraceContext{};
+  }
   if (conn.want_close) {
     CloseConnection(worker, conn.fd);
     return false;

@@ -100,6 +100,16 @@ class Server {
     size_t out_off = 0;         // sent prefix of `out`
     bool want_close = false;    // close after `out` drains
     bool epollout_armed = false;
+    // Timing of the socket-read burst that produced the buffered frames; the
+    // synthetic net/read_frame span is recorded per frame once the frame's
+    // trace context is known (the read happens before the header is parsed).
+    uint64_t read_start_ns = 0;
+    uint64_t read_dur_ns = 0;
+    // Wire trace awaiting its net/write_frame span + server-side finish once
+    // the response drains. Only the newest traced frame per flush is tracked;
+    // earlier ones in the same burst finish without a write span.
+    rc::obs::TraceContext pending_trace;
+    uint64_t pending_trace_start_ns = 0;
   };
 
   struct Worker {

@@ -1,5 +1,7 @@
 #include "src/obs/export.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -69,6 +71,21 @@ std::string PrometheusText(const RegistrySnapshot& snapshot) {
     MetricInfo count_info = h.info;
     count_info.name += "_count";
     out << Series(count_info) << " " << h.hist.count << "\n";
+    if (h.has_window) {
+      // Sliding-window companions (gauges: they go up and down as the ring
+      // rotates, unlike the monotone lifetime series above).
+      auto window_series = [&](const char* suffix, double v) {
+        MetricInfo window_info = h.info;
+        window_info.name += suffix;
+        window_info.help.clear();
+        Header(out, window_info, "gauge", emitted);
+        out << Series(window_info) << " " << Fmt(v) << "\n";
+      };
+      window_series("_window_count", static_cast<double>(h.window.count));
+      window_series("_window_p50", h.window.Quantile(0.50));
+      window_series("_window_p95", h.window.Quantile(0.95));
+      window_series("_window_p99", h.window.Quantile(0.99));
+    }
   }
   return out.str();
 }
@@ -115,7 +132,14 @@ std::vector<std::pair<std::string, std::string>> JsonEntries(
                        ",\"p50\":" + Fmt(h.hist.Quantile(0.50)) +
                        ",\"p95\":" + Fmt(h.hist.Quantile(0.95)) +
                        ",\"p99\":" + Fmt(h.hist.Quantile(0.99)) +
-                       ",\"p999\":" + Fmt(h.hist.Quantile(0.999)) + "}";
+                       ",\"p999\":" + Fmt(h.hist.Quantile(0.999));
+    if (h.has_window) {
+      body += ",\"window_count\":" + std::to_string(h.window.count) +
+              ",\"window_p50\":" + Fmt(h.window.Quantile(0.50)) +
+              ",\"window_p95\":" + Fmt(h.window.Quantile(0.95)) +
+              ",\"window_p99\":" + Fmt(h.window.Quantile(0.99));
+    }
+    body += "}";
     entries.emplace_back(h.info.Key(), std::move(body));
   }
   return entries;
@@ -142,10 +166,26 @@ std::string JsonText(const MetricsRegistry& registry) {
 }
 
 bool WriteTextFile(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return false;
-  out << text;
-  return static_cast<bool>(out);
+  // Write-then-rename so a concurrent reader (a scraper polling the dump
+  // file) sees either the old snapshot or the new one, never a torn write.
+  // The pid in the temp name keeps parallel dumpers to the same path from
+  // clobbering each other's in-flight temp files.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << text;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 namespace {

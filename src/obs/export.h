@@ -29,7 +29,8 @@ std::string PrometheusText(const MetricsRegistry& registry);
 std::string JsonText(const RegistrySnapshot& snapshot);
 std::string JsonText(const MetricsRegistry& registry);
 
-// Overwrites `path` with `text`; false on I/O failure.
+// Atomically replaces `path` with `text` (temp file + rename, so concurrent
+// readers never observe a torn snapshot); false on I/O failure.
 bool WriteTextFile(const std::string& path, const std::string& text);
 
 // Merges the registry's JSON snapshot into an existing JSON metrics file:

@@ -25,6 +25,19 @@ Histogram::Histogram(const HistogramOptions& options) {
   for (Shard& shard : shards_) {
     shard.buckets = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
   }
+  if (options.window_epochs > 0) {
+    window_epochs_ = options.window_epochs;
+    epoch_ns_ = std::max<uint64_t>(options.window_epoch_ns, 1);
+    // One spare slot beyond the window, so the slot recycled for the next
+    // epoch is never one the current window still reads.
+    window_.resize(static_cast<size_t>(window_epochs_) + 1);
+    for (auto& slot : window_) {
+      slot = std::make_unique<WindowSlot>();
+      for (Shard& shard : slot->shards) {
+        shard.buckets = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+      }
+    }
+  }
 }
 
 size_t Histogram::BucketIndex(double value) const {
@@ -35,9 +48,37 @@ size_t Histogram::BucketIndex(double value) const {
   return std::min(index, bounds_.size());  // bounds_.size() == overflow
 }
 
-void Histogram::Record(double value) {
+void Histogram::RecordAt(double value, uint64_t now_ns) {
+  const size_t bucket = BucketIndex(value);
   Shard& shard = shards_[ThreadShard()];
-  shard.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  if (!window_.empty()) WindowRecord(bucket, value, now_ns);
+}
+
+void Histogram::WindowRecord(size_t bucket, double value, uint64_t now_ns) {
+  const uint64_t epoch = now_ns / epoch_ns_;
+  WindowSlot& slot = *window_[epoch % window_.size()];
+  uint64_t tag = slot.epoch.load(std::memory_order_acquire);
+  if (tag != epoch) {
+    // A tag from a newer epoch means this sample is too old for the ring
+    // (a laggard thread, or clock injection moving backwards in a test).
+    if (tag != kEmptyEpoch && tag > epoch) return;
+    if (slot.epoch.compare_exchange_strong(tag, epoch, std::memory_order_acq_rel)) {
+      for (Shard& shard : slot.shards) {
+        shard.sum.store(0.0, std::memory_order_relaxed);
+        shard.count.store(0, std::memory_order_relaxed);
+        for (size_t b = 0; b <= bounds_.size(); ++b) {
+          shard.buckets[b].store(0, std::memory_order_relaxed);
+        }
+      }
+    } else if (slot.epoch.load(std::memory_order_acquire) != epoch) {
+      return;  // lost the claim to a different epoch; drop the window sample
+    }
+  }
+  Shard& shard = slot.shards[ThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
   shard.count.fetch_add(1, std::memory_order_relaxed);
   shard.sum.fetch_add(value, std::memory_order_relaxed);
 }
@@ -51,6 +92,29 @@ Histogram::Snapshot Histogram::TakeSnapshot() const {
     snap.sum += shard.sum.load(std::memory_order_relaxed);
     for (size_t b = 0; b <= bounds_.size(); ++b) {
       snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+Histogram::Snapshot Histogram::TakeWindowSnapshot(uint64_t now_ns) const {
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.buckets.assign(bounds_.size() + 1, 0);
+  if (window_.empty()) return snap;
+  const uint64_t cur = now_ns / epoch_ns_;
+  for (const auto& slot : window_) {
+    const uint64_t tag = slot->epoch.load(std::memory_order_acquire);
+    if (tag == kEmptyEpoch || tag > cur ||
+        cur - tag >= static_cast<uint64_t>(window_epochs_)) {
+      continue;  // outside the window (stale slot awaiting reuse)
+    }
+    for (const Shard& shard : slot->shards) {
+      snap.count += shard.count.load(std::memory_order_relaxed);
+      snap.sum += shard.sum.load(std::memory_order_relaxed);
+      for (size_t b = 0; b <= bounds_.size(); ++b) {
+        snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+      }
     }
   }
   return snap;
@@ -152,7 +216,9 @@ RegistrySnapshot MetricsRegistry::Collect() const {
         snap.gauges.push_back({entry.info, entry.gauge->Value()});
         break;
       case Kind::kHistogram:
-        snap.histograms.push_back({entry.info, entry.histogram->TakeSnapshot()});
+        snap.histograms.push_back({entry.info, entry.histogram->TakeSnapshot(),
+                                   entry.histogram->TakeWindowSnapshot(NowNs()),
+                                   entry.histogram->has_window()});
         break;
     }
   }

@@ -89,19 +89,41 @@ struct HistogramOptions {
   double min = 0.1;  // upper bound of the first bucket (0.1us default)
   double max = 1e7;  // values above this land in the overflow bucket (10s)
   int buckets_per_decade = 8;
+  // Sliding-window view (TakeWindowSnapshot): the most recent
+  // `window_epochs` epochs of `window_epoch_ns` each — defaults cover the
+  // last minute. 0 epochs disables the window and its memory.
+  int window_epochs = 6;
+  uint64_t window_epoch_ns = 10'000'000'000ull;  // 10 s
 };
 
 // Fixed-bucket histogram with per-thread shards. Record() is two relaxed
 // atomic adds (bucket count + shard sum) plus a log10 for the bucket index;
 // no locks anywhere, so it is safe on the prediction hot path.
+//
+// The optional sliding window is a ring of epoch-tagged shard sets: a
+// recording thread whose epoch does not match its slot's tag claims the
+// slot with one CAS and zeroes it, so the ring rotates without any clock
+// thread. Lifetime shards are untouched by rotation — lifetime counts stay
+// monotone no matter what the window does. Claim races lose at most the
+// handful of window-only samples in flight during a rotation (never
+// lifetime samples); snapshots sum only slots whose tag falls inside the
+// window, so stale epochs are invisible rather than zeroed lazily.
 class Histogram {
  public:
   explicit Histogram(const HistogramOptions& options = {});
 
-  void Record(double value);
+  void Record(double value) { RecordAt(value, NowNs()); }
+  // Same, with an injected timestamp for the window epoch (tests virtualize
+  // time; the lifetime shards don't care).
+  void RecordAt(double value, uint64_t now_ns);
 
   // Upper bounds of the finite buckets (the overflow bucket is implicit).
   const std::vector<double>& bounds() const { return bounds_; }
+
+  bool has_window() const { return !window_.empty(); }
+  uint64_t window_span_ns() const {
+    return static_cast<uint64_t>(window_epochs_) * epoch_ns_;
+  }
 
   struct Snapshot {
     uint64_t count = 0;
@@ -115,9 +137,15 @@ class Histogram {
     double Quantile(double q) const;
   };
   Snapshot TakeSnapshot() const;
+  // Sums the ring slots whose epoch is within the window ending at
+  // `now_ns`. Empty (all-zero) snapshot when the window is disabled.
+  Snapshot TakeWindowSnapshot(uint64_t now_ns) const;
 
  private:
+  static constexpr uint64_t kEmptyEpoch = ~0ull;
+
   size_t BucketIndex(double value) const;
+  void WindowRecord(size_t bucket, double value, uint64_t now_ns);
 
   std::vector<double> bounds_;
   double min_;
@@ -129,6 +157,14 @@ class Histogram {
     std::unique_ptr<std::atomic<uint64_t>[]> buckets;  // bounds + overflow
   };
   std::array<Shard, kShards> shards_;
+
+  struct WindowSlot {
+    std::atomic<uint64_t> epoch{kEmptyEpoch};
+    std::array<Shard, kShards> shards;
+  };
+  std::vector<std::unique_ptr<WindowSlot>> window_;  // ring; empty = disabled
+  int window_epochs_ = 0;
+  uint64_t epoch_ns_ = 1;
 };
 
 // Sorted label set rendered Prometheus-style. Keys are sorted (and
@@ -158,7 +194,9 @@ struct GaugeSample {
 };
 struct HistogramSample {
   MetricInfo info;
-  Histogram::Snapshot hist;
+  Histogram::Snapshot hist;    // lifetime, monotone
+  Histogram::Snapshot window;  // sliding window ending at collection time
+  bool has_window = false;
 };
 
 // A consistent-enough view of a registry for export: every sample is read

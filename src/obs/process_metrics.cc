@@ -1,0 +1,99 @@
+#include "src/obs/process_metrics.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace rc::obs {
+
+// The build facts are injected by src/obs/CMakeLists.txt; the fallbacks
+// keep non-CMake compiles (tooling, IDEs) building.
+#ifndef RC_VERSION
+#define RC_VERSION "dev"
+#endif
+#ifndef RC_GIT_SHA
+#define RC_GIT_SHA "unknown"
+#endif
+#ifndef RC_BUILD_TYPE
+#define RC_BUILD_TYPE "unknown"
+#endif
+
+const char* BuildVersion() { return RC_VERSION; }
+const char* BuildGitSha() { return RC_GIT_SHA; }
+const char* BuildCompiler() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+const char* BuildType() { return RC_BUILD_TYPE; }
+
+void RegisterBuildInfo(MetricsRegistry& registry) {
+  registry
+      .GetGauge("rc_build_info",
+                {{"version", BuildVersion()},
+                 {"git_sha", BuildGitSha()},
+                 {"compiler", BuildCompiler()},
+                 {"build", BuildType()}},
+                "build identity (constant 1; the labels are the payload)")
+      .Set(1.0);
+}
+
+namespace {
+
+// Process start, captured on first use. /proc/self/stat's starttime would
+// survive exec, but a steady-clock anchor at first registration is enough
+// for "how long has this server been up" and needs no jiffy arithmetic.
+uint64_t ProcessStartNs() {
+  static const uint64_t start_ns = NowNs();
+  return start_ns;
+}
+
+double ReadRssBytes() {
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return -1.0;
+  long long total_pages = 0, rss_pages = 0;
+  if (!(statm >> total_pages >> rss_pages)) return -1.0;
+  return static_cast<double>(rss_pages) *
+         static_cast<double>(::sysconf(_SC_PAGESIZE));
+}
+
+double CountOpenFds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return -1.0;
+  double count = 0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++count;
+  }
+  ::closedir(dir);
+  return count - 1;  // the opendir itself holds one fd
+}
+
+}  // namespace
+
+void UpdateProcessGauges(MetricsRegistry& registry) {
+  registry
+      .GetGauge("rc_process_uptime_seconds", {},
+                "seconds since process gauges were first registered")
+      .Set(static_cast<double>(NowNs() - ProcessStartNs()) / 1e9);
+  const double rss = ReadRssBytes();
+  if (rss >= 0.0) {
+    registry
+        .GetGauge("rc_process_resident_memory_bytes", {},
+                  "resident set size from /proc/self/statm")
+        .Set(rss);
+  }
+  const double fds = CountOpenFds();
+  if (fds >= 0.0) {
+    registry.GetGauge("rc_process_open_fds", {}, "open file descriptors").Set(fds);
+  }
+}
+
+}  // namespace rc::obs

@@ -1,0 +1,34 @@
+// rc::obs — build identity and process-level gauges for introspection.
+//
+// RegisterBuildInfo publishes the classic Prometheus `rc_build_info` gauge:
+// constant value 1, with the interesting facts (version, git sha, compiler,
+// build type) carried as labels so a scrape can tell which binary it is
+// talking to. UpdateProcessGauges refreshes uptime / RSS / open-fd gauges
+// from /proc — call it before each scrape (the admin endpoint does), not on
+// a timer.
+#ifndef RC_SRC_OBS_PROCESS_METRICS_H_
+#define RC_SRC_OBS_PROCESS_METRICS_H_
+
+#include "src/obs/metrics.h"
+
+namespace rc::obs {
+
+// Registers rc_build_info{version=...,git_sha=...,compiler=...,build=...} 1.
+// Idempotent (the registry dedups by key).
+void RegisterBuildInfo(MetricsRegistry& registry);
+
+// Sets rc_process_uptime_seconds, rc_process_resident_memory_bytes, and
+// rc_process_open_fds from /proc/self. Values that cannot be read (non-proc
+// filesystems) are left at their previous value.
+void UpdateProcessGauges(MetricsRegistry& registry);
+
+// The build label values, for /varz and banners: version, git sha,
+// compiler, build type.
+const char* BuildVersion();
+const char* BuildGitSha();
+const char* BuildCompiler();
+const char* BuildType();
+
+}  // namespace rc::obs
+
+#endif  // RC_SRC_OBS_PROCESS_METRICS_H_

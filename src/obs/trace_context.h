@@ -1,0 +1,192 @@
+// rc::obs — hierarchical request tracing: a per-thread trace context stack
+// (trace_id / span_id / sampling decision), deterministic 1-in-N root
+// sampling, and a bounded in-memory store of finished traces for the
+// /tracez introspection endpoint.
+//
+// Relationship to trace_events.h: TraceSpan (RAII) is the single
+// instrumentation point. When a sampled context is current, each span pushes
+// itself onto the thread's context stack, so nested spans form a real tree
+// (parent_span_id links) and the finished records land in TraceStore. The
+// flat Chrome-trace ring (TraceLog) keeps working independently; a span
+// feeds either, both, or neither depending on what is enabled.
+//
+// Cost model: with sampling off (the default) the added cost of a TraceSpan
+// is one thread-local read. Sampled spans take the TraceStore mutex once at
+// destruction — sampling (Tracer::SetSampleEvery) bounds how often that
+// happens on the hot path.
+//
+// Cross-process: contexts travel over RCNP v2 frames (src/net/protocol.h).
+// Trace and span ids are salted with the pid so ids minted on both ends of
+// a connection do not collide within one trace.
+#ifndef RC_SRC_OBS_TRACE_CONTEXT_H_
+#define RC_SRC_OBS_TRACE_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rc::obs {
+
+// The propagated identity of one request. `trace_id == 0` means "no trace":
+// unsampled requests carry no context at all, so every downstream span
+// check is a single comparison.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  // the span a child should use as its parent
+  bool sampled = false;
+
+  bool valid() const { return trace_id != 0 && sampled; }
+};
+
+namespace internal {
+// The thread's current context. TraceSpan push/pops it; wire ingress
+// installs it via ScopedTraceContext. Direct writes outside this header and
+// trace_events are a bug.
+inline thread_local TraceContext t_current{};
+// Small sequential id of the calling thread, for span records.
+uint32_t ThreadTraceTid();
+}  // namespace internal
+
+inline TraceContext CurrentTraceContext() { return internal::t_current; }
+
+// Installs `ctx` as the thread's current context for a scope (wire ingress,
+// cross-thread handoff) and restores the previous context on exit.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(const TraceContext& ctx) : prev_(internal::t_current) {
+    internal::t_current = ctx;
+  }
+  ~ScopedTraceContext() { internal::t_current = prev_; }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext prev_;
+};
+
+// Root sampling and id allocation. StartTrace() makes the per-request
+// sampling decision deterministically (every Nth request starts a trace),
+// so tests and CI runs sample predictably with no RNG on the hot path.
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  // Sample one request in `n` as a new root trace; 0 disables new roots
+  // (propagated contexts from the wire are still honoured).
+  void SetSampleEvery(uint64_t n) { sample_every_.store(n, std::memory_order_relaxed); }
+  uint64_t sample_every() const { return sample_every_.load(std::memory_order_relaxed); }
+
+  // Allocates a context for a new root trace, or an invalid context when
+  // this request lost the sampling draw. The returned span_id is 0: the
+  // root TraceSpan created with it becomes the parentless root.
+  TraceContext StartTrace();
+
+  static uint64_t NextSpanId();
+
+ private:
+  Tracer();
+
+  std::atomic<uint64_t> sample_every_{0};
+  std::atomic<uint64_t> request_counter_{0};
+  std::atomic<uint64_t> next_trace_;
+};
+
+// One finished span. `name` must be a string literal (same contract as
+// TraceSpan / TraceLog). link_* is an optional follows-from edge to a span
+// in another (or the same) trace — the combiner uses it to tie coalesced
+// callers to the batch dispatch that actually did their work.
+struct SpanRecord {
+  const char* name = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  uint64_t start_ns = 0;
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;
+  uint64_t link_trace_id = 0;
+  uint64_t link_span_id = 0;
+};
+
+// Records a synthetic span under `parent` without the RAII dance — used
+// where the timed interval and the context are discovered at different
+// times (the server's frame read happens before the frame is parsed, the
+// response write after the handler returned). Returns the new span id, or 0
+// when the parent is not a sampled context.
+uint64_t RecordSpanUnder(const char* name, const TraceContext& parent,
+                         uint64_t start_ns, uint64_t duration_ns,
+                         uint64_t link_trace_id = 0, uint64_t link_span_id = 0);
+
+// Bounded in-memory store of sampled traces, rendered by /tracez.
+//
+// Lifecycle: spans accumulate in an active map (trace_id -> bounded span
+// list). When a trace finishes — its root span ends, or the server-side
+// handler completes for a trace whose root lives in a remote process — it
+// is classified into a latency bucket and offered to that bucket's
+// reservoir (uniform sampling via a seeded LCG, so every latency regime
+// keeps exemplars no matter how skewed the traffic). Kept traces stay
+// readable and still absorb late spans (a response-write span lands after
+// the client saw the bytes); rejected traces drop their spans immediately
+// and leave a tombstone so stragglers don't resurrect them. The active map
+// is FIFO-bounded; reservoir-kept traces are pinned until displaced.
+class TraceStore {
+ public:
+  struct Options {
+    size_t max_active_traces = 256;   // live + tombstone entries
+    size_t max_spans_per_trace = 96;  // extra spans are dropped, not resized
+    size_t traces_per_bucket = 4;     // reservoir K
+  };
+
+  static TraceStore& Global();
+
+  void Configure(const Options& options);
+
+  void Record(const SpanRecord& rec);
+
+  // Classify + reservoir-offer. Idempotent per trace: the first caller
+  // (root span destructor, or the server frame handler) decides the bucket.
+  void FinishTrace(uint64_t trace_id, uint64_t root_duration_ns);
+
+  // {"sampled":N,"active":M,"buckets":[{"le_us":...,"seen":...,
+  //  "traces":[{"trace_id":"0x..","root_duration_us":..,"spans":[...]}]}]}
+  std::string TracezJson() const;
+
+  // Drops every trace and resets reservoir state (tests).
+  void Clear();
+
+  // Finished traces offered to the reservoir since the last Clear().
+  uint64_t finished_count() const;
+
+ private:
+  enum class State : uint8_t { kActive, kRetained, kDropped };
+  struct TraceEntry {
+    std::vector<SpanRecord> spans;
+    State state = State::kActive;
+    uint64_t root_duration_ns = 0;
+  };
+  struct Bucket {
+    uint64_t seen = 0;
+    std::vector<uint64_t> trace_ids;
+  };
+
+  TraceStore();
+
+  void EvictLocked();
+  uint64_t NextRandomLocked();
+
+  mutable std::mutex mu_;
+  Options options_;
+  std::unordered_map<uint64_t, TraceEntry> traces_;
+  std::deque<uint64_t> arrival_order_;  // FIFO eviction candidates
+  std::vector<double> bucket_bounds_us_;
+  std::vector<Bucket> buckets_;  // bounds + overflow
+  uint64_t finished_ = 0;
+  uint64_t rng_ = 0x2545F4914F6CDD1Dull;
+};
+
+}  // namespace rc::obs
+
+#endif  // RC_SRC_OBS_TRACE_CONTEXT_H_

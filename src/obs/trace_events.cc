@@ -13,6 +13,43 @@ TraceLog& TraceLog::Global() {
 
 uint64_t TraceSpan::Now() { return NowNs(); }
 
+void TraceSpan::StartTraced(const TraceContext& parent) {
+  traced_ = true;
+  trace_id_ = parent.trace_id;
+  parent_span_id_ = parent.span_id;
+  span_id_ = Tracer::NextSpanId();
+  prev_ = internal::t_current;
+  internal::t_current = TraceContext{trace_id_, span_id_, true};
+  start_ns_ = Now();
+}
+
+void TraceSpan::Finish() {
+  const uint64_t end_ns = Now();
+  const uint64_t duration_ns = end_ns - start_ns_;
+  if (traced_) {
+    internal::t_current = prev_;
+    SpanRecord rec;
+    rec.name = name_;
+    rec.trace_id = trace_id_;
+    rec.span_id = span_id_;
+    rec.parent_span_id = parent_span_id_;
+    rec.start_ns = start_ns_;
+    rec.duration_ns = duration_ns;
+    rec.tid = internal::ThreadTraceTid();
+    rec.link_trace_id = link_trace_id_;
+    rec.link_span_id = link_span_id_;
+    TraceStore::Global().Record(rec);
+    // A parentless span is the trace root: its end is the trace's end.
+    if (parent_span_id_ == 0) {
+      TraceStore::Global().FinishTrace(trace_id_, duration_ns);
+    }
+  }
+  if (chrome_) {
+    TraceLog::Global().Append(name_, start_ns_, duration_ns, trace_id_, span_id_,
+                              parent_span_id_);
+  }
+}
+
 void TraceLog::Enable(size_t ring_capacity) {
   capacity_.store(std::max<size_t>(1, ring_capacity), std::memory_order_relaxed);
   enabled_.store(true, std::memory_order_relaxed);
@@ -33,11 +70,13 @@ TraceLog::Ring& TraceLog::LocalRing() {
   return *ring;
 }
 
-void TraceLog::Append(const char* name, uint64_t start_ns, uint64_t duration_ns) {
+void TraceLog::Append(const char* name, uint64_t start_ns, uint64_t duration_ns,
+                      uint64_t trace_id, uint64_t span_id, uint64_t parent_span_id) {
   Ring& ring = LocalRing();
   size_t capacity = capacity_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(ring.mu);
-  TraceEvent event{name, start_ns, duration_ns, ring.tid};
+  TraceEvent event{name, start_ns, duration_ns, ring.tid, trace_id, span_id,
+                   parent_span_id};
   if (ring.events.size() < capacity) {
     ring.events.push_back(event);
     ring.next = ring.events.size() % capacity;
@@ -93,6 +132,11 @@ std::string TraceLog::DrainJson() {
            std::to_string((e.start_ns % 1000) / 100);
     out += ",\"dur\":" + std::to_string(e.duration_ns / 1000) + "." +
            std::to_string((e.duration_ns % 1000) / 100);
+    if (e.trace_id != 0) {
+      out += ",\"args\":{\"trace_id\":" + std::to_string(e.trace_id) +
+             ",\"span_id\":" + std::to_string(e.span_id) +
+             ",\"parent_span_id\":" + std::to_string(e.parent_span_id) + "}";
+    }
     out += "}";
   }
   out += "\n]\n";

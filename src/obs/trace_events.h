@@ -3,14 +3,25 @@
 // JSON (Chrome trace-event format, loadable in chrome://tracing / Perfetto).
 //
 // Cost model: tracing is DISABLED by default. A TraceSpan on a disabled log
-// costs one relaxed atomic load; when enabled, finishing a span takes the
-// owning thread's (uncontended) ring mutex to append one fixed-size event.
+// with no sampled trace context costs one relaxed atomic load plus one
+// thread-local read; when enabled, finishing a span takes the owning
+// thread's (uncontended) ring mutex to append one fixed-size event.
 // Span names must be string literals (or otherwise outlive the log): events
 // store the pointer, never a copy, so the armed path does not allocate.
 //
+// Two consumers, one instrumentation point: when the thread carries a
+// sampled TraceContext (trace_context.h), every TraceSpan additionally
+// pushes itself onto the thread's context stack — nested spans become a
+// parent-linked tree recorded in TraceStore for /tracez, and the same ids
+// annotate the Chrome events.
+//
 // Instrumented paths (grep for the names):
 //   prediction:  client/predict  client/result_cache  client/featurize
-//                client/execute
+//                client/execute  client/exec_batch
+//   combiner:    combiner/predict  combiner/park  combiner/dispatch
+//                combiner/coalesced
+//   network:     netclient/call  net/read_frame  net/predict
+//                net/write_frame
 //   store path:  client/store_read  client/crc_verify  client/decode
 //                client/publish_state  store/get  store/put  disk/read
 //                disk/write  pipeline/publish
@@ -24,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/trace_context.h"
+
 namespace rc::obs {
 
 struct TraceEvent {
@@ -31,6 +44,11 @@ struct TraceEvent {
   uint64_t start_ns = 0;
   uint64_t duration_ns = 0;
   uint32_t tid = 0;  // small sequential id of the recording thread
+  // Trace-tree identity; zero when the event was recorded outside any
+  // sampled trace.
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
 };
 
 // Process-wide trace log. Per-thread rings are created on a thread's first
@@ -46,12 +64,14 @@ class TraceLog {
   void Disable();
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  void Append(const char* name, uint64_t start_ns, uint64_t duration_ns);
+  void Append(const char* name, uint64_t start_ns, uint64_t duration_ns,
+              uint64_t trace_id = 0, uint64_t span_id = 0,
+              uint64_t parent_span_id = 0);
 
   // Removes and returns all buffered events, oldest-first per thread.
   std::vector<TraceEvent> Drain();
   // Drains into a Chrome trace-event JSON array ("X" complete events,
-  // timestamps in microseconds).
+  // timestamps in microseconds; trace/span ids rendered as args).
   std::string DrainJson();
 
  private:
@@ -75,25 +95,69 @@ class TraceLog {
 };
 
 // RAII span: captures the start time at construction and appends one event
-// at destruction. Disabled logs make both ends near-free.
+// at destruction. Disabled logs with no sampled context make both ends
+// near-free. When the thread's current TraceContext is sampled, the span
+// allocates its own span id, becomes the thread's current context for its
+// lifetime (children parent to it), and records to TraceStore on finish.
 class TraceSpan {
  public:
-  explicit TraceSpan(const char* name)
-      : name_(name), armed_(TraceLog::Global().enabled()) {
-    if (armed_) start_ns_ = Now();
+  explicit TraceSpan(const char* name) : name_(name) {
+    chrome_ = TraceLog::Global().enabled();
+    const TraceContext cur = internal::t_current;
+    if (cur.valid()) {
+      StartTraced(cur);
+    } else if (chrome_) {
+      start_ns_ = Now();
+    }
   }
+
+  // Starts the span under an explicit parent context instead of the
+  // thread's current one: root spans (ctx from Tracer::StartTrace(), which
+  // carries span_id 0 so this span becomes the parentless root) and spans
+  // continuing a wire context.
+  TraceSpan(const char* name, const TraceContext& ctx) : name_(name) {
+    chrome_ = TraceLog::Global().enabled();
+    if (ctx.valid()) {
+      StartTraced(ctx);
+    } else if (chrome_) {
+      start_ns_ = Now();
+    }
+  }
+
   ~TraceSpan() {
-    if (armed_) TraceLog::Global().Append(name_, start_ns_, Now() - start_ns_);
+    if (chrome_ || traced_) Finish();
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  // Attaches a follows-from edge (rendered on /tracez); the combiner links
+  // a parked caller's span to the batch dispatch that served it.
+  void SetLink(uint64_t link_trace_id, uint64_t link_span_id) {
+    link_trace_id_ = link_trace_id;
+    link_span_id_ = link_span_id;
+  }
+
+  // This span's context, for handing to another thread or the wire.
+  TraceContext context() const {
+    if (!traced_) return {};
+    return TraceContext{trace_id_, span_id_, true};
+  }
+
  private:
   static uint64_t Now();
+  void StartTraced(const TraceContext& parent);
+  void Finish();
 
   const char* name_;
-  bool armed_;
+  bool chrome_ = false;
+  bool traced_ = false;
   uint64_t start_ns_ = 0;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  uint64_t link_trace_id_ = 0;
+  uint64_t link_span_id_ = 0;
+  TraceContext prev_;
 };
 
 }  // namespace rc::obs

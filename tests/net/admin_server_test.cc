@@ -1,0 +1,157 @@
+// AdminServer: HTTP/1.0 introspection endpoint driven over raw sockets —
+// happy-path GETs, malformed request lines, oversized and dribbled
+// requests, non-GET methods, unknown paths — and above all that the
+// listener survives every abuse (the next well-formed request still works).
+#include "src/net/admin_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rc::net {
+namespace {
+
+class AdminServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AdminServerConfig config;
+    config.max_request_bytes = 1024;  // small so the 414 test is cheap
+    server_ = std::make_unique<AdminServer>(config);
+    server_->Handle("/ping", [] {
+      return AdminServer::Response{200, "text/plain", "pong\n"};
+    });
+    server_->Handle("/fail", [] {
+      return AdminServer::Response{503, "text/plain", "down\n"};
+    });
+    ASSERT_TRUE(server_->Start());
+  }
+
+  void TearDown() override { server_->Stop(); }
+
+  int Connect() {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server_->port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    return fd;
+  }
+
+  // Sends `request` (optionally in `chunks` pieces) and reads the full
+  // response until the server closes the connection.
+  std::string RoundTrip(const std::string& request, size_t chunks = 1) {
+    int fd = Connect();
+    size_t per = (request.size() + chunks - 1) / chunks;
+    for (size_t off = 0; off < request.size(); off += per) {
+      size_t n = std::min(per, request.size() - off);
+      EXPECT_EQ(::send(fd, request.data() + off, n, 0), static_cast<ssize_t>(n));
+    }
+    std::string response = ReadAll(fd);
+    ::close(fd);
+    return response;
+  }
+
+  static std::string ReadAll(int fd) {
+    std::string out;
+    char buf[4096];
+    for (;;) {
+      ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
+      if (r <= 0) break;
+      out.append(buf, static_cast<size_t>(r));
+    }
+    return out;
+  }
+
+  std::unique_ptr<AdminServer> server_;
+};
+
+TEST_F(AdminServerTest, ServesRegisteredRoute) {
+  std::string response = RoundTrip("GET /ping HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 5"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\npong\n"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, HandlerStatusPropagates) {
+  EXPECT_NE(RoundTrip("GET /fail HTTP/1.0\r\n\r\n").find("503 Service Unavailable"),
+            std::string::npos);
+}
+
+TEST_F(AdminServerTest, QueryStringIsStripped) {
+  EXPECT_NE(RoundTrip("GET /ping?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n").find("200 OK"),
+            std::string::npos);
+}
+
+TEST_F(AdminServerTest, BareLfHeaderEndAccepted) {
+  EXPECT_NE(RoundTrip("GET /ping HTTP/1.0\n\n").find("200 OK"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, UnknownPathIs404) {
+  EXPECT_NE(RoundTrip("GET /nope HTTP/1.0\r\n\r\n").find("404 Not Found"),
+            std::string::npos);
+}
+
+TEST_F(AdminServerTest, NonGetIs405) {
+  EXPECT_NE(RoundTrip("POST /ping HTTP/1.0\r\n\r\n").find("405 Method Not Allowed"),
+            std::string::npos);
+}
+
+TEST_F(AdminServerTest, MalformedRequestLineIs400) {
+  EXPECT_NE(RoundTrip("garbage\r\n\r\n").find("400 Bad Request"), std::string::npos);
+  EXPECT_NE(RoundTrip("GET /ping\r\n\r\n").find("400 Bad Request"), std::string::npos);
+  EXPECT_NE(RoundTrip("GET /ping FTP/9\r\n\r\n").find("400 Bad Request"),
+            std::string::npos);
+}
+
+TEST_F(AdminServerTest, OversizedRequestIs414) {
+  // Headers never complete and exceed max_request_bytes (1024).
+  std::string huge = "GET /ping HTTP/1.0\r\nX-Pad: " + std::string(2000, 'a');
+  EXPECT_NE(RoundTrip(huge).find("414 URI Too Long"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, DribbledRequestStillServed) {
+  // One byte per send: the server buffers until the blank line arrives.
+  std::string response = RoundTrip("GET /ping HTTP/1.0\r\n\r\n", /*chunks=*/22);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("pong\n"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, ListenerSurvivesAbuse) {
+  // A barrage of every abuse in sequence, then a clean request must work.
+  RoundTrip("garbage\r\n\r\n");
+  RoundTrip("GET /ping HTTP/1.0\r\nX-Pad: " + std::string(2000, 'a'));
+  RoundTrip("DELETE /ping HTTP/1.0\r\n\r\n");
+  {
+    int fd = Connect();  // connect and slam shut mid-request
+    ASSERT_EQ(::send(fd, "GET /pi", 7, 0), 7);
+    ::close(fd);
+  }
+  EXPECT_NE(RoundTrip("GET /ping HTTP/1.0\r\n\r\n").find("200 OK"), std::string::npos);
+}
+
+TEST_F(AdminServerTest, StopIsIdempotentAndRestartable) {
+  server_->Stop();
+  server_->Stop();
+  // A fresh server on a fresh port serves again (routes re-registered).
+  AdminServer second{AdminServerConfig{}};
+  second.Handle("/ping", [] {
+    return AdminServer::Response{200, "text/plain", "pong\n"};
+  });
+  ASSERT_TRUE(second.Start());
+  EXPECT_GT(second.port(), 0);
+  second.Stop();
+}
+
+}  // namespace
+}  // namespace rc::net

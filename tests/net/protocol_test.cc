@@ -206,5 +206,89 @@ TEST(NetProtocolTest, TrailingGarbageIsMalformed) {
   EXPECT_EQ(DecodePredictSingleRequest(r, &req), WireStatus::kMalformed);
 }
 
+TEST(NetProtocolTest, TraceContextRoundTrips) {
+  rc::obs::TraceContext trace{0xDEADBEEF12345678ull, 0xCAFE000000000042ull, true};
+  std::vector<uint8_t> frame;
+  AppendPredictSingleRequest(frame, 7, "VM_AVGUTIL", SampleInputs(), trace);
+  auto [header, r] = OpenFrame(frame);
+  EXPECT_EQ(header.version, kProtocolVersion);
+  EXPECT_EQ(header.flags, kFlagTraceContext);
+  EXPECT_EQ(header.trace.trace_id, trace.trace_id);
+  EXPECT_EQ(header.trace.span_id, trace.span_id);
+  EXPECT_TRUE(header.trace.sampled);
+  PredictSingleRequest req;  // the body still decodes after the trace block
+  ASSERT_EQ(DecodePredictSingleRequest(r, &req), WireStatus::kOk);
+  EXPECT_EQ(req.model, "VM_AVGUTIL");
+}
+
+TEST(NetProtocolTest, UntracedV2FrameHasNoTraceBlock) {
+  std::vector<uint8_t> frame;
+  AppendPredictSingleRequest(frame, 7, "M", SampleInputs());
+  auto [header, r] = OpenFrame(frame);
+  EXPECT_EQ(header.flags, 0);
+  EXPECT_EQ(header.trace.trace_id, 0u);
+  EXPECT_FALSE(header.trace.valid());
+}
+
+// A legacy v1 peer's frame (16-byte header, no flags byte) must still parse
+// against a v2 server — the compatibility promise of the version bump.
+TEST(NetProtocolTest, V1FrameStillDecodes) {
+  std::vector<uint8_t> frame;
+  AppendFrame(frame, Opcode::kHealth, 88, {}, kProtocolVersionV1);
+  rc::ml::ByteReader r(frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes);
+  FrameHeader h;
+  ASSERT_EQ(DecodeHeader(r, &h), WireStatus::kOk);
+  EXPECT_EQ(h.version, kProtocolVersionV1);
+  EXPECT_EQ(h.request_id, 88u);
+  EXPECT_EQ(h.flags, 0);
+  EXPECT_FALSE(h.trace.valid());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_EQ(frame.size(), kLengthPrefixBytes + kHeaderBytesV1);
+}
+
+// Flags announce a trace block the payload doesn't contain: the header
+// decoder must reject before reading past the end (validate-before-read).
+TEST(NetProtocolTest, TruncatedTraceBlockIsMalformed) {
+  rc::obs::TraceContext trace{1, 2, true};
+  std::vector<uint8_t> frame;
+  AppendFrame(frame, Opcode::kHealth, 5, {}, kProtocolVersion, trace);
+  for (size_t chop = 1; chop <= kTraceWireBytes; ++chop) {
+    std::vector<uint8_t> bad(frame.begin(), frame.end() - static_cast<long>(chop));
+    uint32_t payload_len = static_cast<uint32_t>(bad.size() - kLengthPrefixBytes);
+    std::memcpy(bad.data(), &payload_len, sizeof(payload_len));
+    rc::ml::ByteReader r(bad.data() + kLengthPrefixBytes, payload_len);
+    FrameHeader h;
+    EXPECT_EQ(DecodeHeader(r, &h), WireStatus::kMalformed) << "chop " << chop;
+  }
+}
+
+// Unknown v2 flag bits are rejected rather than skipped: a future flag may
+// change the layout after the flags byte, so guessing would misparse.
+TEST(NetProtocolTest, UnknownFlagBitsAreMalformed) {
+  std::vector<uint8_t> frame;
+  AppendHealthRequest(frame, 3);
+  ASSERT_EQ(frame.size(), kLengthPrefixBytes + kHeaderBytes);
+  frame[kLengthPrefixBytes + kHeaderBytesV1] = 0x02;  // the flags byte
+  rc::ml::ByteReader r(frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes);
+  FrameHeader h;
+  EXPECT_EQ(DecodeHeader(r, &h), WireStatus::kMalformed);
+}
+
+// Responses can echo the v1 layout so a legacy client can parse its reply.
+TEST(NetProtocolTest, V1ResponseEchoParses) {
+  std::vector<uint8_t> frame;
+  AppendPredictSingleResponse(frame, 12, core::Prediction::Of(1, 0.25), kProtocolVersionV1);
+  rc::ml::ByteReader r(frame.data() + kLengthPrefixBytes, frame.size() - kLengthPrefixBytes);
+  FrameHeader h;
+  ASSERT_EQ(DecodeHeader(r, &h), WireStatus::kOk);
+  EXPECT_EQ(h.version, kProtocolVersionV1);
+  WireStatus remote;
+  core::Prediction p;
+  std::string error;
+  ASSERT_TRUE(DecodePredictSingleResponse(r, &remote, &p, &error));
+  EXPECT_EQ(remote, WireStatus::kOk);
+  EXPECT_EQ(p.bucket, 1);
+}
+
 }  // namespace
 }  // namespace rc::net

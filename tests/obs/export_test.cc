@@ -42,7 +42,15 @@ TEST(PrometheusTextTest, GoldenExposition) {
       "rc_demo_latency_us_bucket{le=\"10\"} 2\n"
       "rc_demo_latency_us_bucket{le=\"+Inf\"} 3\n"
       "rc_demo_latency_us_sum 1005.5\n"
-      "rc_demo_latency_us_count 3\n";
+      "rc_demo_latency_us_count 3\n"
+      "# TYPE rc_demo_latency_us_window_count gauge\n"
+      "rc_demo_latency_us_window_count 3\n"
+      "# TYPE rc_demo_latency_us_window_p50 gauge\n"
+      "rc_demo_latency_us_window_p50 10\n"
+      "# TYPE rc_demo_latency_us_window_p95 gauge\n"
+      "rc_demo_latency_us_window_p95 100\n"
+      "# TYPE rc_demo_latency_us_window_p99 gauge\n"
+      "rc_demo_latency_us_window_p99 100\n";
   EXPECT_EQ(PrometheusText(reg), expected);
 }
 
@@ -55,7 +63,8 @@ TEST(JsonTextTest, GoldenSnapshot) {
       "    \"rc_demo_requests{path=\\\"/x\\\"}\": {\"type\":\"counter\",\"value\":3},\n"
       "    \"rc_demo_queue\": {\"type\":\"gauge\",\"value\":1.5},\n"
       "    \"rc_demo_latency_us\": {\"type\":\"histogram\",\"count\":3,\"sum\":1005.5,"
-      "\"mean\":335.1666667,\"p50\":10,\"p95\":100,\"p99\":100,\"p999\":100}\n"
+      "\"mean\":335.1666667,\"p50\":10,\"p95\":100,\"p99\":100,\"p999\":100,"
+      "\"window_count\":3,\"window_p50\":10,\"window_p95\":100,\"window_p99\":100}\n"
       "  }\n"
       "}\n";
   EXPECT_EQ(JsonText(reg), expected);

@@ -221,5 +221,105 @@ TEST(ScopedTimerTest, RecordsRoughlyElapsedTime) {
   EXPECT_EQ(h.TakeSnapshot().count, 1u);
 }
 
+// --- sliding-window view (epoch-ring rotation, virtualized time) ---
+
+TEST(HistogramWindowTest, DisabledWindowIsEmptyAndFree) {
+  HistogramOptions opts;
+  opts.window_epochs = 0;
+  Histogram h(opts);
+  EXPECT_FALSE(h.has_window());
+  h.Record(5.0);
+  Histogram::Snapshot w = h.TakeWindowSnapshot(NowNs());
+  EXPECT_EQ(w.count, 0u);
+  EXPECT_EQ(h.TakeSnapshot().count, 1u);  // lifetime unaffected
+}
+
+TEST(HistogramWindowTest, WindowSeesRecentAndForgetsOld) {
+  HistogramOptions opts;
+  opts.window_epochs = 3;
+  opts.window_epoch_ns = 1'000'000'000ull;  // 1s epochs, 3s window
+  Histogram h(opts);
+  const uint64_t t0 = 100'000'000'000ull;  // arbitrary virtual origin
+  h.RecordAt(10.0, t0);
+  h.RecordAt(20.0, t0 + 500'000'000ull);
+  EXPECT_EQ(h.TakeWindowSnapshot(t0 + 600'000'000ull).count, 2u);
+  // 4s later both records have aged past the 3s window...
+  EXPECT_EQ(h.TakeWindowSnapshot(t0 + 4'000'000'000ull).count, 0u);
+  // ...but the lifetime view keeps them forever.
+  EXPECT_EQ(h.TakeSnapshot().count, 2u);
+}
+
+// A load change shows up in window quantiles within one window span while
+// the lifetime quantile still remembers the old regime — the property the
+// /metrics _window_p99 series exists for.
+TEST(HistogramWindowTest, StepLoadConvergesWithinOneWindow) {
+  HistogramOptions opts;
+  opts.window_epochs = 6;
+  opts.window_epoch_ns = 1'000'000'000ull;
+  Histogram h(opts);
+  uint64_t now = 50'000'000'000ull;
+  // Regime A: 1000 fast samples (~10us) spread over 3s.
+  for (int i = 0; i < 1000; ++i) {
+    h.RecordAt(10.0, now + static_cast<uint64_t>(i) * 3'000'000ull);
+  }
+  now += 3'000'000'000ull;
+  Histogram::Snapshot before = h.TakeWindowSnapshot(now);
+  EXPECT_LE(before.Quantile(0.99), 20.0);
+  // Regime B: latency jumps 100x. One full window later the window p99
+  // reflects only the new regime.
+  now += 6'000'000'000ull;  // old samples age out entirely
+  for (int i = 0; i < 1000; ++i) {
+    h.RecordAt(1000.0, now + static_cast<uint64_t>(i) * 3'000'000ull);
+  }
+  now += 3'000'000'000ull;
+  Histogram::Snapshot after = h.TakeWindowSnapshot(now);
+  EXPECT_EQ(after.count, 1000u);
+  EXPECT_GE(after.Quantile(0.99), 1000.0);
+  EXPECT_LE(after.Quantile(0.99), 1500.0);
+  // Lifetime stays monotone and cumulative across both regimes.
+  Histogram::Snapshot life = h.TakeSnapshot();
+  EXPECT_EQ(life.count, 2000u);
+  EXPECT_LE(life.Quantile(0.5), 20.0);  // half the samples are still fast
+}
+
+// Ring reuse: epochs far enough apart land in the same ring slot; the CAS
+// claim must zero the stale contents rather than accumulate them.
+TEST(HistogramWindowTest, SlotReclaimZeroesStaleEpoch) {
+  HistogramOptions opts;
+  opts.window_epochs = 2;
+  opts.window_epoch_ns = 1'000'000'000ull;  // ring of 3 slots
+  Histogram h(opts);
+  const uint64_t t0 = 10'000'000'000ull;
+  for (int i = 0; i < 100; ++i) h.RecordAt(1.0, t0);
+  // Same slot (epoch multiple of ring size), much later.
+  const uint64_t t1 = t0 + 9'000'000'000ull;
+  h.RecordAt(2.0, t1);
+  Histogram::Snapshot w = h.TakeWindowSnapshot(t1);
+  EXPECT_EQ(w.count, 1u);  // the 100 stale samples did not leak in
+  EXPECT_EQ(h.TakeSnapshot().count, 101u);
+}
+
+TEST(HistogramWindowTest, ConcurrentRotationNeverLosesLifetimeSamples) {
+  HistogramOptions opts;
+  opts.window_epochs = 2;
+  opts.window_epoch_ns = 1'000'000ull;  // 1ms epochs force constant rotation
+  Histogram h(opts);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(3.0);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Window counts may drop in-flight samples during a claim race; lifetime
+  // counts must be exact.
+  EXPECT_EQ(h.TakeSnapshot().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_LE(h.TakeWindowSnapshot(NowNs()).count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
 }  // namespace
 }  // namespace rc::obs

@@ -100,6 +100,55 @@ for family in "${NET_FAMILIES[@]}"; do
 done
 echo "all ${#NET_FAMILIES[@]} required rc_net_*/rc_combiner_* metric families present."
 
+echo "== admin introspection endpoint check =="
+# Boot a real server with the admin endpoint, 1-in-1 trace sampling, and
+# self-issued probe traffic, then drive all four routes over HTTP the way an
+# operator would. The /tracez check is the end-to-end acceptance: the probe
+# requests must leave at least one connected span tree behind.
+ADMIN_LOG="$(mktemp)"
+"${BUILD_DIR}/tools/rc_server" --vms 3000 --admin-port 0 --trace-sample 1 \
+  --probe 8 >/dev/null 2>"${ADMIN_LOG}" &
+ADMIN_PID=$!
+trap 'kill "${ADMIN_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 120); do
+  grep -q '^probe:' "${ADMIN_LOG}" && break
+  sleep 0.5
+done
+ADMIN_PORT="$(sed -n 's#.*admin endpoint on http://127.0.0.1:\([0-9]*\).*#\1#p' "${ADMIN_LOG}")"
+if [[ -z "${ADMIN_PORT}" ]]; then
+  echo "FAIL: rc_server did not report an admin endpoint" >&2
+  cat "${ADMIN_LOG}" >&2
+  exit 1
+fi
+ADMIN_BASE="http://127.0.0.1:${ADMIN_PORT}"
+METRICS="$(curl -sf "${ADMIN_BASE}/metrics")"
+for family in rc_build_info rc_process_uptime_seconds rc_process_resident_memory_bytes \
+              rc_net_requests rc_net_request_latency_us_window_p99; do
+  if ! grep -q "^${family}" <<<"${METRICS}"; then
+    echo "FAIL: metric family '${family}' missing from /metrics" >&2
+    exit 1
+  fi
+done
+HEALTHZ="$(curl -sf "${ADMIN_BASE}/healthz")" && grep -q '^status: ok' <<<"${HEALTHZ}" || {
+  echo "FAIL: /healthz did not report ok" >&2; echo "${HEALTHZ}" >&2; exit 1; }
+VARZ="$(curl -sf "${ADMIN_BASE}/varz")" && grep -q '"build"' <<<"${VARZ}" || {
+  echo "FAIL: /varz missing the build section" >&2; echo "${VARZ}" >&2; exit 1; }
+TRACEZ="$(curl -sf "${ADMIN_BASE}/tracez")"
+for span in netclient/call net/read_frame net/predict net/write_frame; do
+  if ! grep -q "${span}" <<<"${TRACEZ}"; then
+    echo "FAIL: /tracez missing span '${span}' (no connected trace tree)" >&2
+    echo "${TRACEZ}" >&2
+    exit 1
+  fi
+done
+curl -s -o /dev/null -w '%{http_code}' "${ADMIN_BASE}/nope" | grep -q 404 || {
+  echo "FAIL: unknown admin path did not 404" >&2; exit 1; }
+kill "${ADMIN_PID}" 2>/dev/null || true
+wait "${ADMIN_PID}" 2>/dev/null || true
+trap - EXIT
+rm -f "${ADMIN_LOG}"
+echo "admin endpoint serves /metrics /healthz /varz /tracez with a live span tree."
+
 echo "== combiner determinism lint =="
 # The combiner unit suites must stay on VirtualClock: a real sleep in them
 # reintroduces exactly the timing flake the clock injection removed. (The

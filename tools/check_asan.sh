@@ -34,4 +34,9 @@ echo "== rc_core_tests (ASan+UBSan, combiner park/flush races) =="
 # — exactly the out-of-bounds shapes ASan exists to vet.
 echo "== rc_ml_tests (ASan+UBSan, exec-engine parity) =="
 "${BUILD_DIR}/tests/rc_ml_tests" --gtest_filter='ExecEngine*'
+# The admin endpoint parses hostile HTTP (dribbled, oversized, malformed)
+# and the v2 header decoder reads optional trace blocks from untrusted
+# frames — exactly the bounds-handling shapes ASan exists to vet.
+echo "== rc_net_tests (ASan+UBSan, admin endpoint + wire tracing) =="
+"${BUILD_DIR}/tests/rc_net_tests" --gtest_filter='AdminServer*:TracePropagation*:NetProtocol*'
 echo "ASan+UBSan check passed: no memory or UB reports."

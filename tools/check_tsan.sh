@@ -38,4 +38,12 @@ echo "== rc_core_tests (TSan, combiner park/flush races) =="
 # the sanitizer can see is a real bug.
 echo "== rc_ml_tests (TSan, exec-engine parity) =="
 "${BUILD_DIR}/tests/rc_ml_tests" --gtest_filter='ExecEngine*'
+# Tracing + admin endpoint always run under TSan: the span tree is assembled
+# across client threads, epoll workers, and the combiner's dispatcher, and
+# the admin thread scrapes registries the workers are writing — both are
+# cross-thread by construction.
+echo "== rc_net_tests (TSan, tracing + admin endpoint) =="
+"${BUILD_DIR}/tests/rc_net_tests" --gtest_filter='TracePropagation*:AdminServer*'
+echo "== rc_obs_tests (TSan, trace store + window rotation) =="
+"${BUILD_DIR}/tests/rc_obs_tests" --gtest_filter='TraceContext*:HistogramWindow*'
 echo "TSan check passed: no data races reported."

@@ -20,9 +20,12 @@
 
 #include "src/core/client.h"
 #include "src/core/offline_pipeline.h"
+#include "src/net/admin_server.h"
 #include "src/net/client.h"
 #include "src/net/server.h"
 #include "src/obs/export.h"
+#include "src/obs/process_metrics.h"
+#include "src/obs/trace_context.h"
 #include "src/store/kv_store.h"
 #include "src/trace/trace_io.h"
 #include "src/trace/workload_model.h"
@@ -46,6 +49,12 @@ void Usage() {
       "  --trace PATH    train from a trace CSV instead of the synthetic workload\n"
       "  --days D        trace observation window in days (default 90)\n"
       "  --train-days T  training window in days (default 2/3 of --days)\n"
+      "  --admin-port P  HTTP introspection endpoint (/metrics /healthz /varz\n"
+      "                  /tracez) on 127.0.0.1:P (0 = ephemeral; off by default)\n"
+      "  --trace-sample N  trace one request in N end to end (default 0 = off;\n"
+      "                  sampled traces appear on /tracez)\n"
+      "  --probe N       self-issue N PredictSingle requests through a pooled\n"
+      "                  TCP client after startup (populates /tracez)\n"
       "  --smoke         serve, self-issue a few requests, dump metrics, exit\n";
 }
 
@@ -53,6 +62,9 @@ void Usage() {
 
 int main(int argc, char** argv) {
   int port = 7071;
+  int admin_port = -1;  // <0 = no admin endpoint
+  long long trace_sample = 0;
+  int probe = 0;
   int workers = 4;
   int64_t vms = 20'000;
   int days = 90, train_days = -1;
@@ -71,6 +83,12 @@ int main(int argc, char** argv) {
     };
     if (std::strcmp(argv[i], "--port") == 0) {
       port = std::atoi(need("--port"));
+    } else if (std::strcmp(argv[i], "--admin-port") == 0) {
+      admin_port = std::atoi(need("--admin-port"));
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0) {
+      trace_sample = std::atoll(need("--trace-sample"));
+    } else if (std::strcmp(argv[i], "--probe") == 0) {
+      probe = std::atoi(need("--probe"));
     } else if (std::strcmp(argv[i], "--workers") == 0) {
       workers = std::atoi(need("--workers"));
     } else if (std::strcmp(argv[i], "--vms") == 0) {
@@ -161,6 +179,102 @@ int main(int argc, char** argv) {
   }
   std::cerr << "rc_server listening on 127.0.0.1:" << server.port() << " with " << workers
             << " workers, " << trained.models.size() << " models\n";
+
+  if (trace_sample > 0) {
+    rc::obs::Tracer::Global().SetSampleEvery(static_cast<uint64_t>(trace_sample));
+  }
+
+  std::unique_ptr<rc::net::AdminServer> admin;
+  if (admin_port >= 0) {
+    rc::obs::RegisterBuildInfo(registry);
+    rc::net::AdminServerConfig admin_config;
+    admin_config.port = static_cast<uint16_t>(admin_port);
+    admin = std::make_unique<rc::net::AdminServer>(admin_config);
+    admin->Handle("/metrics", [&registry] {
+      rc::obs::UpdateProcessGauges(registry);
+      return rc::net::AdminServer::Response{
+          200, "text/plain; version=0.0.4; charset=utf-8",
+          rc::obs::PrometheusText(registry)};
+    });
+    admin->Handle("/healthz", [&client] {
+      rc::core::HealthSnapshot h = client.Health();
+      const uint64_t now_ns = rc::obs::NowNs();
+      std::string body;
+      body += std::string("status: ") + (h.healthy() ? "ok" : "degraded") + "\n";
+      body += std::string("degraded_reason: ") + rc::core::ToString(h.degraded) + "\n";
+      body += std::string("breaker: ") + (h.breaker_open ? "open" : "closed") + "\n";
+      body += "consecutive_store_failures: " +
+              std::to_string(h.consecutive_store_failures) + "\n";
+      for (const auto& m : h.models) {
+        double age_s = m.loaded_at_ns != 0 && now_ns > m.loaded_at_ns
+                           ? static_cast<double>(now_ns - m.loaded_at_ns) / 1e9
+                           : 0.0;
+        body += "model " + m.name + " spec_version=" + std::to_string(m.spec_version) +
+                " blob_version=" + std::to_string(m.blob_version) +
+                " age_s=" + std::to_string(age_s) +
+                " ready=" + (m.ready ? "1" : "0") + "\n";
+      }
+      return rc::net::AdminServer::Response{h.healthy() ? 200 : 503,
+                                            "text/plain; charset=utf-8", body};
+    });
+    admin->Handle("/varz", [&registry, &client] {
+      rc::obs::UpdateProcessGauges(registry);
+      rc::core::HealthSnapshot h = client.Health();
+      std::string body = "{\n";
+      body += std::string("\"build\":{\"version\":\"") + rc::obs::BuildVersion() +
+              "\",\"git_sha\":\"" + rc::obs::BuildGitSha() + "\",\"compiler\":\"" +
+              rc::obs::BuildCompiler() + "\",\"type\":\"" + rc::obs::BuildType() +
+              "\"},\n";
+      body += std::string("\"health\":{\"status\":\"") +
+              (h.healthy() ? "ok" : "degraded") + "\",\"degraded_reason\":\"" +
+              rc::core::ToString(h.degraded) + "\",\"breaker_open\":" +
+              (h.breaker_open ? "true" : "false") + "},\n";
+      // JsonText renders {\n  "metrics": {...}\n}\n — splice its body in so
+      // /varz is one flat object (process gauges ride along as rc_process_*).
+      std::string metrics_json = rc::obs::JsonText(registry);
+      body += metrics_json.substr(2, metrics_json.size() - 4);
+      body += "}\n";
+      return rc::net::AdminServer::Response{200, "application/json", body};
+    });
+    admin->Handle("/tracez", [] {
+      return rc::net::AdminServer::Response{200, "application/json",
+                                            rc::obs::TraceStore::Global().TracezJson()};
+    });
+    if (!admin->Start()) {
+      std::cerr << "failed to bind admin endpoint 127.0.0.1:" << admin_port << "\n";
+      return 1;
+    }
+    std::cerr << "admin endpoint on http://127.0.0.1:" << admin->port()
+              << " (/metrics /healthz /varz /tracez)\n";
+  }
+
+  if (probe > 0) {
+    // Self-issued traffic through a real pooled TCP client: exercises the
+    // full client -> server -> combiner -> engine path so /tracez has span
+    // trees to show right after startup.
+    rc::net::ClientConfig probe_config;
+    probe_config.port = server.port();
+    probe_config.pool_size = 2;
+    rc::net::Client probe_client(probe_config);
+    static const rc::trace::VmSizeCatalog probe_catalog;
+    rc::core::ClientInputs probe_inputs;
+    for (const auto& vm : trace.vms()) {
+      if (trained.feature_data.contains(vm.subscription_id)) {
+        probe_inputs = rc::core::InputsFromVm(vm, probe_catalog);
+        break;
+      }
+    }
+    int probe_ok = 0;
+    for (int i = 0; i < probe; ++i) {
+      rc::core::ClientInputs inputs = probe_inputs;
+      inputs.deploy_hour = i % 24;
+      rc::core::Prediction p;
+      if (probe_client.PredictSingle("VM_AVGUTIL", inputs, &p) == rc::net::Status::kOk) {
+        ++probe_ok;
+      }
+    }
+    std::cerr << "probe: " << probe_ok << "/" << probe << " requests ok\n";
+  }
 
   if (smoke) {
     // Self-drive: one of every opcode through the pooled client, then dump
