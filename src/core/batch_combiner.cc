@@ -68,6 +68,8 @@ CombineResult BatchCombiner::Predict(const std::string& model,
   rc::obs::TraceSpan call_span("combiner/predict");
   m_.requests->Increment();
   if (config_.probe_result_cache) {
+    // Lock-free re-probe (rc::cache seqlock path): a hit returns without
+    // touching the combiner mutex or any cache shard mutex.
     if (auto cached = client_->ProbeResultCache(model, inputs)) {
       CombineResult hit;
       hit.prediction = *cached;

@@ -100,12 +100,18 @@ Client::Client(rc::store::KvStore* store, ClientConfig config)
     disk_ = std::make_unique<rc::store::DiskCache>(config_.disk_cache_dir,
                                                    config_.disk_expiry_seconds, metrics_);
   }
-  // Capacity 0 disables the result cache (shard capacity 0 short-circuits
-  // both lookup and insert).
-  shard_capacity_ = config_.result_cache_capacity == 0
-                        ? 0
-                        : std::max<size_t>(1, config_.result_cache_capacity /
-                                                  kResultCacheShards);
+  // Admission-controlled result cache with a lock-free hit path (capacity 0
+  // disables it: lookups miss, inserts drop). Shares this client's registry
+  // so rc_cache_* shows up next to rc_client_* in /metrics and /varz.
+  {
+    rc::cache::CacheOptions cache_options;
+    cache_options.capacity = config_.result_cache_capacity;
+    cache_options.admission = config_.result_cache_admission;
+    cache_options.metrics = metrics_;
+    cache_options.metric_labels = config_.metric_labels;
+    result_cache_ =
+        std::make_unique<rc::cache::ShardedCache<Prediction>>(cache_options);
+  }
   master_state_ = std::make_shared<const ClientState>();
   snapshot_.store(master_state_);
   if (config_.combiner.enabled) {
@@ -214,38 +220,21 @@ void Client::PublishLocked(std::shared_ptr<ClientState> next) {
   snapshot_.store(master_state_);
 }
 
-Client::ResultCacheShard& Client::ShardFor(uint64_t key) const {
-  return result_cache_[HashU64(key) & (kResultCacheShards - 1)];
-}
-
 std::optional<Prediction> Client::ResultCacheLookup(uint64_t key) const {
-  if (shard_capacity_ == 0) return std::nullopt;  // cache disabled
-  ResultCacheShard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it == shard.map.end()) return std::nullopt;
-  return it->second;
+  // Seqlock probe: zero mutex acquisitions on a hit (sharded_cache.h).
+  return result_cache_->Lookup(key);
 }
 
 void Client::ResultCacheInsert(uint64_t key, const Prediction& prediction,
                                uint64_t epoch) {
-  if (shard_capacity_ == 0) return;  // cache disabled
-  ResultCacheShard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  // An invalidation ran after this prediction's snapshot was taken; dropping
-  // the insert keeps stale results from outliving the invalidation. (If the
-  // epoch bumps after this check, the pending shard clear removes the entry.)
-  if (cache_epoch_.load(std::memory_order_acquire) != epoch) return;
-  if (shard.map.size() >= shard_capacity_) shard.map.clear();
-  shard.map.emplace(key, prediction);
+  // The cache drops the insert if an invalidation ran after this
+  // prediction's snapshot was taken, so stale results never outlive the
+  // invalidation. Overflow evicts one entry via W-TinyLFU — never a flush.
+  result_cache_->Insert(key, prediction, epoch);
 }
 
 void Client::InvalidateResultCache() {
-  cache_epoch_.fetch_add(1, std::memory_order_acq_rel);
-  for (ResultCacheShard& shard : result_cache_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
-    shard.map.clear();
-  }
+  result_cache_->Invalidate();
 }
 
 void Client::SetDegraded(DegradedReason reason) {
@@ -630,7 +619,7 @@ Prediction Client::PredictUncoalesced(const std::string& model_name,
   uint64_t key = inputs.CacheKey(model_name);
   // Order matters: reading the epoch before the snapshot means a concurrent
   // publish+invalidate is always detected at insert time.
-  uint64_t epoch = cache_epoch_.load(std::memory_order_acquire);
+  uint64_t epoch = result_cache_->epoch();
   StatePtr state = LoadState();
   const LoadedModel* model = state->FindReadyModel(model_name);
   bool features_present = state->FindFeatures(inputs.subscription_id) != nullptr ||
@@ -725,7 +714,7 @@ std::vector<Prediction> Client::PredictMany(const std::string& model_name,
 
   // Epoch before snapshot, exactly as in PredictSingleImpl, so a concurrent
   // publish+invalidate is detected at insert time.
-  uint64_t epoch = cache_epoch_.load(std::memory_order_acquire);
+  uint64_t epoch = result_cache_->epoch();
   StatePtr state = LoadState();
   const LoadedModel* model = state->FindReadyModel(model_name);
   if (model == nullptr) {

@@ -22,9 +22,10 @@
 // copy the current state, mutate the copy under `writer_mu_`, and publish it
 // to a striped snapshot holder. Readers never take `writer_mu_` or any
 // shared lock: each reader thread pins one stripe and copies that stripe's
-// shared_ptr under the stripe's (uncontended) mutex. The result cache is
-// sharded with one small mutex per shard so concurrent predictions on
-// different keys do not contend.
+// shared_ptr under the stripe's (uncontended) mutex. The result cache is an
+// rc::cache::ShardedCache — W-TinyLFU admission, per-insert eviction, and a
+// lock-free (seqlock) hit path, so a result-cache hit performs zero mutex
+// acquisitions (see src/cache/sharded_cache.h).
 #ifndef RC_SRC_CORE_CLIENT_H_
 #define RC_SRC_CORE_CLIENT_H_
 
@@ -41,6 +42,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/cache/sharded_cache.h"
 #include "src/core/featurizer.h"
 #include "src/core/model_spec.h"
 #include "src/core/prediction.h"
@@ -79,11 +81,16 @@ struct ClientConfig {
   // and fill the cache as a side effect, keeping store latency off the
   // prediction critical path.
   bool pull_never_blocks = false;
-  // Result-cache entries; when exceeded the cache is flushed (entries are
-  // tiny — a bucket and a score — so the default is generous). The budget is
-  // split evenly across the cache shards; each shard flushes independently.
-  // 0 disables the result cache entirely (every PredictSingle executes).
+  // Result-cache entries (entries are tiny — a bucket and a score — so the
+  // default is generous). The budget is split evenly across the cache
+  // shards; overflow evicts one entry per insert via the admission policy —
+  // never a flush. 0 disables the result cache entirely (every
+  // PredictSingle executes).
   size_t result_cache_capacity = 1 << 20;
+  // W-TinyLFU admission for the result cache (src/cache/sharded_cache.h):
+  // one-shot scan keys cannot displace the frequently-requested working set.
+  // false degrades the policy to a plain LRU (same per-insert eviction).
+  bool result_cache_admission = true;
   // Serve predictions with an empty history for subscriptions absent from
   // the feature data (off by default: the paper returns no-prediction).
   bool allow_missing_feature_data = false;
@@ -306,12 +313,6 @@ class Client {
     std::array<Stripe, kStripes> stripes_;
   };
 
-  static constexpr size_t kResultCacheShards = 16;  // power of two
-  struct alignas(64) ResultCacheShard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, Prediction> map;
-  };
-
   // Registry-backed instruments (rc_client_* family). Pointers are resolved
   // once at construction and stable for the registry's lifetime; every write
   // is a relaxed shard increment, so the hot path and stats() need no lock.
@@ -339,7 +340,7 @@ class Client {
 
   // --- contention-free read side ---
   StatePtr LoadState() const { return snapshot_.load(); }
-  ResultCacheShard& ShardFor(uint64_t key) const;
+  // Lock-free on hit (rc::cache seqlock probe — zero mutex acquisitions).
   std::optional<Prediction> ResultCacheLookup(uint64_t key) const;
   // Inserts unless the cache was invalidated after `epoch` was read.
   void ResultCacheInsert(uint64_t key, const Prediction& prediction, uint64_t epoch);
@@ -408,11 +409,12 @@ class Client {
   SnapshotHolder snapshot_;
   // The latest published state, for writers; guarded by writer_mu_.
   StatePtr master_state_;
-  // Bumped before every result-cache invalidation so a reader racing with an
+  // Admission-controlled result cache with a lock-free hit path. Its epoch
+  // is bumped before every invalidation so a reader racing with an
   // invalidation never re-inserts a result computed from a stale snapshot.
-  std::atomic<uint64_t> cache_epoch_{0};
-  mutable std::array<ResultCacheShard, kResultCacheShards> result_cache_;
-  size_t shard_capacity_;
+  // Constructed after the metrics registry is resolved (rc_cache_* lands in
+  // the same registry as this client's rc_client_* instruments).
+  std::unique_ptr<rc::cache::ShardedCache<Prediction>> result_cache_;
 
   // Serializes all state transitions (push listener, pull fills, reloads)
   // and guards the disk mirror + known-key index below. Mutable so the

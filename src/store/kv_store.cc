@@ -1,14 +1,27 @@
 #include "src/store/kv_store.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <thread>
 
 #include "src/common/crc32.h"
 #include "src/common/faults.h"
+#include "src/common/hashing.h"
 #include "src/obs/trace_events.h"
 
 namespace rc::store {
+
+namespace {
+
+size_t ShardCountFor(size_t requested) {
+  const size_t clamped = std::clamp<size_t>(requested, 1, 256);
+  size_t p = 1;
+  while (p < clamped) p <<= 1;
+  return p;
+}
+
+}  // namespace
 
 bool VerifyBlob(const VersionedBlob& blob) { return Crc32(blob.data) == blob.crc; }
 
@@ -20,7 +33,11 @@ double LatencyProfile::SampleUs(Rng& rng) const {
   return rng.LogNormal(mu, sigma);
 }
 
-KvStore::KvStore(Options options) : options_(options), latency_rng_(options.latency_seed) {
+KvStore::KvStore(Options options)
+    : options_(options), latency_rng_(options.latency_seed) {
+  const size_t shard_count = ShardCountFor(options_.shards);
+  shard_mask_ = shard_count - 1;
+  shards_ = std::make_unique<Shard[]>(shard_count);
   rc::obs::MetricsRegistry& reg = options_.metrics != nullptr
                                       ? *options_.metrics
                                       : rc::obs::MetricsRegistry::Global();
@@ -35,13 +52,17 @@ KvStore::KvStore(Options options) : options_(options), latency_rng_(options.late
                                         "TryGet latency incl. simulated profile (us)");
 }
 
+KvStore::~KvStore() = default;
+
+KvStore::Shard& KvStore::ShardFor(const std::string& key) const {
+  return shards_[HashU64(Fnv1a(key)) & shard_mask_];
+}
+
 void KvStore::MaybeSleep() const {
   if (!options_.simulate_latency) return;
   double us;
   {
-    // latency_rng_ is guarded by mu_; callers sample under the lock and
-    // sleep outside it.
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<std::mutex> lock(latency_mu_);
     us = options_.latency.SampleUs(latency_rng_);
   }
   std::this_thread::sleep_for(std::chrono::microseconds(static_cast<int64_t>(us)));
@@ -55,16 +76,25 @@ uint64_t KvStore::Put(const std::string& key, std::vector<uint8_t> data) {
     m_.puts_dropped->Increment();
     return 0;
   }
+  Shard& s = ShardFor(key);
   VersionedBlob blob;
-  std::vector<std::shared_ptr<ListenerEntry>> to_notify;
+  uint64_t ticket;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!available_) {  // outage: drop the write, notify nobody
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!available_.load(std::memory_order_acquire)) {
+      // Outage: drop the write, consume no version, notify nobody.
       m_.puts_dropped->Increment();
       return 0;
     }
-    VersionedBlob& entry = blobs_[key];
-    entry.version += 1;
+    VersionedBlob& entry = s.blobs[key];
+    if (entry.version == 0) {
+      m_.keys->Set(static_cast<double>(
+          key_count_.fetch_add(1, std::memory_order_relaxed) + 1));
+    }
+    // The global counter is consumed only here, under the shard lock, after
+    // every failure check — so versions are globally unique, increasing, and
+    // (because writes to one key serialize on this lock) per-key monotonic.
+    entry.version = version_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
     entry.data = std::move(data);
     entry.crc = Crc32(entry.data);
     // Corrupt-at-rest / torn-write injection happens after the CRC stamp, so
@@ -72,18 +102,35 @@ uint64_t KvStore::Put(const std::string& key, std::vector<uint8_t> data) {
     // exactly what a real partial or bit-flipped write looks like.
     faults::InjectMutation("kv/put", entry.data);
     m_.puts->Increment();
-    m_.keys->Set(static_cast<double>(blobs_.size()));
     blob = entry;
+    // The delivery ticket is issued with the version, under the same lock:
+    // ticket order == version order for this shard's keys.
+    ticket = s.next_ticket++;
+  }
+  std::vector<std::shared_ptr<ListenerEntry>> to_notify;
+  {
+    std::lock_guard<std::mutex> lock(listeners_mu_);
     to_notify.reserve(listeners_.size());
     for (const auto& [id, listener] : listeners_) {
       listener->in_flight += 1;  // pins the entry for Unsubscribe's drain
       to_notify.push_back(listener);
     }
   }
+  // Deliver outside every store lock, but in ticket order: a listener sees
+  // each key's versions in assignment order even under concurrent Puts.
+  {
+    std::unique_lock<std::mutex> nl(s.notify_mu);
+    s.notify_cv.wait(nl, [&] { return s.serving_ticket == ticket; });
+  }
   for (const auto& entry : to_notify) entry->fn(key, blob);
+  {
+    std::lock_guard<std::mutex> nl(s.notify_mu);
+    s.serving_ticket += 1;
+  }
+  s.notify_cv.notify_all();
   if (!to_notify.empty()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<std::mutex> lock(listeners_mu_);
       for (const auto& entry : to_notify) entry->in_flight -= 1;
     }
     listeners_drained_.notify_all();
@@ -102,13 +149,14 @@ KvStore::GetResult KvStore::TryGet(const std::string& key) const {
   }
   GetResult result;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!available_) {
+    Shard& s = ShardFor(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!available_.load(std::memory_order_acquire)) {
       m_.gets_failed->Increment();
       return {GetStatus::kUnavailable, {}};
     }
-    auto it = blobs_.find(key);
-    if (it == blobs_.end()) {
+    auto it = s.blobs.find(key);
+    if (it == s.blobs.end()) {
       m_.gets_notfound->Increment();
       return {GetStatus::kNotFound, {}};
     }
@@ -129,35 +177,38 @@ std::optional<VersionedBlob> KvStore::Get(const std::string& key) const {
 }
 
 std::optional<uint64_t> KvStore::GetVersion(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (!available_) return std::nullopt;
-  auto it = blobs_.find(key);
-  if (it == blobs_.end()) return std::nullopt;
+  if (!available_.load(std::memory_order_acquire)) return std::nullopt;
+  Shard& s = ShardFor(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.blobs.find(key);
+  if (it == s.blobs.end()) return std::nullopt;
   return it->second.version;
 }
 
 std::vector<std::string> KvStore::ListKeys(const std::string& prefix) const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> keys;
-  if (!available_) return keys;
-  for (const auto& [key, blob] : blobs_) {
-    if (key.compare(0, prefix.size(), prefix) == 0) keys.push_back(key);
+  if (!available_.load(std::memory_order_acquire)) return keys;
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [key, blob] : s.blobs) {
+      if (key.compare(0, prefix.size(), prefix) == 0) keys.push_back(key);
+    }
   }
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 
 void KvStore::SetAvailable(bool available) {
-  std::lock_guard<std::mutex> lock(mu_);
-  available_ = available;
+  available_.store(available, std::memory_order_release);
 }
 
 bool KvStore::available() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return available_;
+  return available_.load(std::memory_order_acquire);
 }
 
 int KvStore::Subscribe(Listener listener) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(listeners_mu_);
   int id = next_listener_id_++;
   auto entry = std::make_shared<ListenerEntry>();
   entry->fn = std::move(listener);
@@ -166,7 +217,7 @@ int KvStore::Subscribe(Listener listener) {
 }
 
 void KvStore::Unsubscribe(int id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(listeners_mu_);
   auto it = listeners_.find(id);
   if (it == listeners_.end()) return;
   std::shared_ptr<ListenerEntry> entry = it->second;
@@ -178,8 +229,13 @@ void KvStore::Unsubscribe(int id) {
 }
 
 size_t KvStore::key_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return blobs_.size();
+  size_t total = 0;
+  for (size_t i = 0; i <= shard_mask_; ++i) {
+    Shard& s = shards_[i];
+    std::lock_guard<std::mutex> lock(s.mu);
+    total += s.blobs.size();
+  }
+  return total;
 }
 
 }  // namespace rc::store

@@ -4,9 +4,20 @@
 // store with (optional) simulated access latency calibrated to the paper's
 // measurements (median 2.9 ms / P99 5.6 ms for an 850-byte record) and an
 // availability switch so tests can exercise the client's outage fallbacks.
+//
+// Concurrency (DESIGN.md "Admission-controlled caching & sharded store"):
+// keys are hash-partitioned across shards, each with its own mutex and blob
+// map, so concurrent clients loading *different* models no longer serialize
+// during publish-heavy windows. Versions come from one store-global atomic
+// counter consumed only by successful writes — globally unique and
+// increasing, hence monotonic per key (writes to one key serialize on its
+// shard lock and draw ever-larger tickets). Push notifications are delivered
+// outside all locks but in per-shard ticket order, so a listener observes
+// each key's versions in the order they were assigned.
 #ifndef RC_SRC_STORE_KV_STORE_H_
 #define RC_SRC_STORE_KV_STORE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -49,16 +60,23 @@ class KvStore {
     bool simulate_latency = false;  // busy-sleep on Get/Put when true
     LatencyProfile latency;
     uint64_t latency_seed = 99;
+    // Key-hash partitions, each with its own mutex and blob map. Rounded to
+    // a power of two, clamped to [1, 256]. 1 reproduces the old
+    // global-mutex layout (the bench control arm).
+    size_t shards = 16;
     // Registry receiving the rc_store_* instruments; null = process-global.
     rc::obs::MetricsRegistry* metrics = nullptr;
   };
 
   KvStore() : KvStore(Options{}) {}
   explicit KvStore(Options options);
+  ~KvStore();
 
   // Stores bytes under key; returns the new (monotonic per key) version, or
-  // 0 if the store is unavailable (the write is dropped and listeners are
-  // not notified — an outage affects writes like it affects reads).
+  // 0 if the store is unavailable (the write is dropped, no version is
+  // consumed, and listeners are not notified — an outage affects writes like
+  // it affects reads). Versions are store-global: unique and increasing
+  // across keys, not dense per key.
   uint64_t Put(const std::string& key, std::vector<uint8_t> data);
 
   // Read outcome, so callers can react differently to "the key is absent"
@@ -85,14 +103,18 @@ class KvStore {
   // Version lookup without transferring the payload.
   std::optional<uint64_t> GetVersion(const std::string& key) const;
 
+  // Matching keys across all shards, in sorted order.
   std::vector<std::string> ListKeys(const std::string& prefix = "") const;
 
   // Simulates an outage: Get/GetVersion/ListKeys return empty until restored.
   void SetAvailable(bool available);
   bool available() const;
 
-  // Push channel: listeners are invoked (synchronously, outside the store
-  // lock) after every successful Put. Returns a subscription id.
+  // Push channel: listeners are invoked (synchronously, outside every store
+  // lock) after each successful Put, in per-shard version order. Returns a
+  // subscription id. Listeners may read back into the store; they must not
+  // Put (delivery order is enforced with a per-shard ticket a re-entrant
+  // Put would wait on — self-deadlock) and must not Unsubscribe themselves.
   using Listener = std::function<void(const std::string& key, const VersionedBlob& blob)>;
   int Subscribe(Listener listener);
   // Removes the listener AND blocks until every in-flight invocation of it
@@ -103,15 +125,30 @@ class KvStore {
 
   size_t key_count() const;
 
+  size_t shard_count() const { return shard_mask_ + 1; }
+
  private:
   // A listener plus its in-flight invocation count; shared between the
   // registry and dispatching Put calls so Unsubscribe can wait for the
   // count to drain after removing the registry entry.
   struct ListenerEntry {
     Listener fn;
-    int in_flight = 0;  // guarded by mu_
+    int in_flight = 0;  // guarded by listeners_mu_
   };
 
+  // One key partition. `mu` guards the blob map and ticket issuance; the
+  // notify pair serializes listener delivery into ticket order without
+  // holding `mu` across user code.
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, VersionedBlob> blobs;
+    uint64_t next_ticket = 0;  // guarded by mu, issued with the version
+    std::mutex notify_mu;
+    std::condition_variable notify_cv;
+    uint64_t serving_ticket = 0;  // guarded by notify_mu
+  };
+
+  Shard& ShardFor(const std::string& key) const;
   void MaybeSleep() const;
 
   // rc_store_* instruments; resolved once at construction, relaxed writes.
@@ -127,10 +164,16 @@ class KvStore {
 
   Options options_;
   Instruments m_{};
-  mutable std::mutex mu_;
+  std::unique_ptr<Shard[]> shards_;
+  size_t shard_mask_ = 0;
+  std::atomic<uint64_t> version_counter_{0};
+  std::atomic<bool> available_{true};
+  std::atomic<uint64_t> key_count_{0};
+
+  mutable std::mutex latency_mu_;
   mutable Rng latency_rng_;
-  std::map<std::string, VersionedBlob> blobs_;
-  bool available_ = true;
+
+  mutable std::mutex listeners_mu_;
   std::map<int, std::shared_ptr<ListenerEntry>> listeners_;
   std::condition_variable listeners_drained_;
   int next_listener_id_ = 1;

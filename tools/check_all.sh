@@ -63,6 +63,12 @@ REQUIRED_FAMILIES=(
   rc_store_get_latency_us
   rc_pipeline_stage_duration_us
   rc_pipeline_published_records
+  rc_cache_entries
+  rc_cache_admit_rejects
+  rc_cache_evictions
+  rc_cache_sketch_resets
+  rc_cache_probe_retries
+  rc_cache_rebuilds
 )
 for family in "${REQUIRED_FAMILIES[@]}"; do
   if ! grep -q "^${family}" <<<"${EXPO}"; then
@@ -148,6 +154,20 @@ wait "${ADMIN_PID}" 2>/dev/null || true
 trap - EXIT
 rm -f "${ADMIN_LOG}"
 echo "admin endpoint serves /metrics /healthz /varz /tracez with a live span tree."
+
+echo "== cache layering lint =="
+# rc::cache sits BELOW rc::core (the client embeds a ShardedCache), so a
+# src/cache -> src/core dependency would be a cycle. Keep the cache layer
+# reusable: it may depend only on src/common and src/obs.
+if grep -rn '#include "src/core' "${REPO_ROOT}/src/cache/"; then
+  echo "FAIL: src/cache must not include src/core headers (layering)" >&2
+  exit 1
+fi
+if grep -vE '^\s*#' "${REPO_ROOT}/src/cache/CMakeLists.txt" | grep -n 'rc_core'; then
+  echo "FAIL: rc_cache must not link rc_core (layering)" >&2
+  exit 1
+fi
+echo "src/cache has no dependency on src/core."
 
 echo "== combiner determinism lint =="
 # The combiner unit suites must stay on VirtualClock: a real sleep in them

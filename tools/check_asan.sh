@@ -16,12 +16,12 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRC_SANITIZE=address
 cmake --build "${BUILD_DIR}" -j"$(nproc)" \
-  --target rc_common_tests rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests rc_net_tests
+  --target rc_common_tests rc_obs_tests rc_ml_tests rc_cache_tests rc_store_tests rc_core_tests rc_net_tests
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1 detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 
-for t in rc_common_tests rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests rc_net_tests; do
+for t in rc_common_tests rc_obs_tests rc_ml_tests rc_cache_tests rc_store_tests rc_core_tests rc_net_tests; do
   echo "== ${t} (ASan+UBSan) =="
   "${BUILD_DIR}/tests/${t}" "$@"
 done
@@ -39,4 +39,12 @@ echo "== rc_ml_tests (ASan+UBSan, exec-engine parity) =="
 # frames — exactly the bounds-handling shapes ASan exists to vet.
 echo "== rc_net_tests (ASan+UBSan, admin endpoint + wire tracing) =="
 "${BUILD_DIR}/tests/rc_net_tests" --gtest_filter='AdminServer*:TracePropagation*:NetProtocol*'
+# The open-addressed cache indexes raw slot/ctrl arrays under concurrent
+# eviction, tombstone reuse, and in-place rebuild — exactly the off-by-one
+# shapes ASan vets. The shard-stress suite vets listener lifetime (the
+# Unsubscribe drain) against use-after-free.
+echo "== rc_cache_tests (ASan+UBSan, open addressing + rebuild) =="
+"${BUILD_DIR}/tests/rc_cache_tests" --gtest_filter='Word2Cache*:FrequencySketch*'
+echo "== rc_store_tests (ASan+UBSan, sharded KvStore listener lifetime) =="
+"${BUILD_DIR}/tests/rc_store_tests" --gtest_filter='KvStoreShardStress*'
 echo "ASan+UBSan check passed: no memory or UB reports."

@@ -13,7 +13,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DRC_SANITIZE=thread
 cmake --build "${BUILD_DIR}" -j"$(nproc)" \
-  --target rc_common_tests rc_obs_tests rc_ml_tests rc_store_tests rc_core_tests rc_net_tests
+  --target rc_common_tests rc_obs_tests rc_ml_tests rc_cache_tests rc_store_tests rc_core_tests rc_net_tests
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 
@@ -23,6 +23,8 @@ echo "== rc_obs_tests (TSan) =="
 "${BUILD_DIR}/tests/rc_obs_tests" "$@"
 echo "== rc_ml_tests (TSan) =="
 "${BUILD_DIR}/tests/rc_ml_tests" "$@"
+echo "== rc_cache_tests (TSan) =="
+"${BUILD_DIR}/tests/rc_cache_tests" "$@"
 echo "== rc_store_tests (TSan) =="
 "${BUILD_DIR}/tests/rc_store_tests" "$@"
 echo "== rc_core_tests (TSan) =="
@@ -46,4 +48,14 @@ echo "== rc_net_tests (TSan, tracing + admin endpoint) =="
 "${BUILD_DIR}/tests/rc_net_tests" --gtest_filter='TracePropagation*:AdminServer*'
 echo "== rc_obs_tests (TSan, trace store + window rotation) =="
 "${BUILD_DIR}/tests/rc_obs_tests" --gtest_filter='TraceContext*:HistogramWindow*'
+# The seqlock probe is the load-bearing lock-free structure in the serving
+# path: readers revalidate atomics the shard writer is stamping, so these
+# suites run under TSan regardless of any caller filter. The sharded-store
+# stress and the client parity storm exercise the same protocol end to end.
+echo "== rc_cache_tests (TSan, seqlock readers vs writer + admission) =="
+"${BUILD_DIR}/tests/rc_cache_tests" --gtest_filter='Word2Cache*:ShardedCache*:AdmissionQuality*'
+echo "== rc_store_tests (TSan, sharded KvStore stress) =="
+"${BUILD_DIR}/tests/rc_store_tests" --gtest_filter='KvStoreShardStress*'
+echo "== rc_core_tests (TSan, client cache parity storm) =="
+"${BUILD_DIR}/tests/rc_core_tests" --gtest_filter='ClientCacheParity*'
 echo "TSan check passed: no data races reported."
